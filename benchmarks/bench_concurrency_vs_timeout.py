@@ -1,0 +1,69 @@
+"""Experiment F-CONC — concurrent VMs required vs idle timeout.
+
+The paper's central scalability analysis: how many simultaneously-live
+VMs must the farm hold, as a function of the reclamation idle timeout,
+for the traffic a /16 telescope sees? Computed exactly from the arrival
+trace (the same methodology the paper uses to extrapolate beyond its
+testbed).
+
+Expected shape: required VMs grow steeply (roughly linearly over the
+interesting range) with the timeout — sub-minute timeouts need hundreds
+of VMs for a /16, minutes-scale timeouts need thousands — which is what
+makes aggressive recycling plus hundreds-of-VMs-per-host consolidation
+the enabling combination for /16-scale farms on a handful of servers.
+"""
+
+from __future__ import annotations
+
+from conftest import register_report, report_csv
+
+from repro.analysis.concurrency import sweep_timeouts
+from repro.analysis.report import format_table
+from repro.net.addr import Prefix
+from repro.workloads.telescope import TelescopeConfig, TelescopeWorkload
+
+DURATION = 600.0
+TIMEOUTS = [1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0]
+PREFIX = Prefix.parse("10.16.0.0/16")
+
+
+def run_sweep():
+    workload = TelescopeWorkload([PREFIX], TelescopeConfig(seed=202))
+    records = workload.generate(DURATION)
+    return records, sweep_timeouts(records, TIMEOUTS)
+
+
+def test_concurrency_vs_idle_timeout(benchmark):
+    records, results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = [
+        [f"{r.timeout:g}", r.peak_vms, f"{r.mean_vms:.1f}", r.vm_instantiations]
+        for r in results
+    ]
+    report = format_table(
+        ["idle timeout (s)", "peak VMs", "mean VMs", "instantiations"],
+        rows,
+        title=(
+            f"F-CONC: concurrent VMs vs idle timeout"
+            f" (/16 trace, {len(records)} packets over {DURATION:.0f}s)"
+        ),
+    )
+    register_report("F-CONC_concurrency_vs_timeout", report)
+    for result in results:
+        report_csv(
+            f"F-CONC_series_timeout_{result.timeout:g}s",
+            result.series, value_label="concurrent_vms",
+        )
+
+    peaks = [r.peak_vms for r in results]
+    means = [r.mean_vms for r in results]
+    # Monotone growth with timeout.
+    assert peaks == sorted(peaks)
+    assert means == sorted(means)
+    # Shape: short timeouts keep the farm small; long ones inflate it by
+    # orders of magnitude.
+    by_timeout = {r.timeout: r for r in results}
+    assert by_timeout[600.0].mean_vms > 20 * by_timeout[5.0].mean_vms
+    # Instantiations fall as timeouts lengthen (fewer re-activations).
+    instantiations = [r.vm_instantiations for r in results]
+    assert instantiations == sorted(instantiations, reverse=True)

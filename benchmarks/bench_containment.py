@@ -1,0 +1,107 @@
+"""Experiment F-CONTAIN — worm outbreaks under each containment policy.
+
+The paper's containment argument, quantified: run the same worm outbreak
+against the same farm under each policy and compare
+
+* **safety** — honeypot-initiated packets that reached the Internet
+  (must be zero for every policy but ``open``), and
+* **fidelity** — whether the worm's onward propagation stayed observable
+  (generation ≥ 1 infections; only reflection preserves this safely).
+
+Also regenerates the in-farm infection curve under reflection — the
+"self-infection epidemic" figure — and the generation histogram showing
+multi-stage spread.
+"""
+
+from __future__ import annotations
+
+from conftest import register_report, report_csv
+
+from repro.analysis.epidemics import (
+    generation_histogram,
+    infection_curve,
+    summarize_containment,
+)
+from repro.analysis.report import format_series, format_table
+from repro.core.config import HoneyfarmConfig
+from repro.core.honeyfarm import Honeyfarm
+from repro.net.addr import IPAddress
+from repro.net.packet import PROTO_UDP, udp_packet
+from repro.services.guest import ScanBehavior
+
+POLICIES = ("open", "drop-all", "allow-dns", "reflect")
+DURATION = 20.0
+
+ATTACKER = IPAddress.parse("203.0.113.99")
+INDEX_CASE = IPAddress.parse("10.16.0.40")
+
+
+def run_policy(policy: str) -> Honeyfarm:
+    farm = Honeyfarm(HoneyfarmConfig(
+        prefixes=("10.16.0.0/25",),
+        num_hosts=1,
+        containment=policy,
+        idle_timeout_seconds=60.0,
+        clone_jitter=0.0,
+        seed=17,
+    ))
+    farm.register_worm(ScanBehavior(
+        "slammer", PROTO_UDP, 1434, "exploit:slammer",
+        scan_rate=40.0, dns_lookup_first=True, dns_server=farm.dns_server.address,
+    ))
+    farm.inject(udp_packet(ATTACKER, INDEX_CASE, 4000, 1434,
+                           payload="exploit:slammer"))
+    farm.run(until=DURATION)
+    return farm
+
+
+def test_containment_policy_comparison(benchmark):
+    farms = benchmark.pedantic(
+        lambda: {p: run_policy(p) for p in POLICIES}, rounds=1, iterations=1
+    )
+    summaries = {p: summarize_containment(farm) for p, farm in farms.items()}
+
+    rows = []
+    for policy in POLICIES:
+        s = summaries[policy]
+        rows.append([
+            policy, s.infections_total, s.max_generation,
+            s.escaped_packets, s.reflected_packets, s.dropped_packets,
+            s.dns_transactions, s.contained, s.fidelity_preserved,
+        ])
+    report = format_table(
+        ["policy", "infections", "max gen", "escaped", "reflected",
+         "dropped", "dns ok", "contained", "fidelity"],
+        rows,
+        title=f"F-CONTAIN: slammer outbreak under each policy ({DURATION:.0f}s)",
+    )
+    register_report("F-CONTAIN_policy_comparison", report)
+
+    # Safety: only `open` leaks.
+    assert not summaries["open"].contained
+    for policy in ("drop-all", "allow-dns", "reflect"):
+        assert summaries[policy].contained, f"{policy} leaked packets"
+    # Fidelity: only reflection keeps propagation observable.
+    assert summaries["reflect"].fidelity_preserved
+    assert not summaries["drop-all"].fidelity_preserved
+    assert not summaries["allow-dns"].fidelity_preserved
+    # DNS-permitting policies complete the worm's lookup.
+    assert summaries["allow-dns"].dns_transactions > 0
+    assert summaries["reflect"].dns_transactions > 0
+
+    # The reflection epidemic figure: cumulative infections + generations.
+    reflect_farm = farms["reflect"]
+    curve = infection_curve(reflect_farm.infections)
+    generations = generation_histogram(reflect_farm.infections)
+    gen_rows = [[g, count] for g, count in generations.items()]
+    epidemic_report = (
+        format_series(curve, max_points=15, value_label="cumulative infections")
+        + "\n\n"
+        + format_table(["generation", "infections"], gen_rows,
+                       title="Reflection epidemic: infections per generation")
+    )
+    register_report("F-CONTAIN_reflection_epidemic", epidemic_report)
+    report_csv("F-CONTAIN_reflection_curve", curve,
+               value_label="cumulative_infections")
+
+    assert max(generations) >= 2  # genuinely multi-stage inside the farm

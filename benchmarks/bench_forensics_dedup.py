@@ -1,0 +1,125 @@
+"""Experiments D-FORENSICS and D-DEDUP (extensions).
+
+**D-FORENSICS** — delta virtualization as a forensic instrument: after a
+multi-worm incident, cluster captured VMs by their dirty-page sets with
+no ground-truth labels and check that (a) the clustering recovers the
+worm families with perfect purity and (b) each family's signature-body
+size matches the worm's actual resident size (the catalog value —
+unknown to the pipeline).
+
+**D-DEDUP** — content-based page sharing, the paper's future-work item,
+quantified: after the same incident, scan private pages for identical
+contents and report what an ESX-style sharing scanner would reclaim
+(every victim of the same worm carries an identical worm body).
+"""
+
+from __future__ import annotations
+
+from conftest import register_report
+
+from repro.analysis.dedup import dedup_opportunity
+from repro.analysis.report import format_table
+from repro.core.config import HoneyfarmConfig
+from repro.core.honeyfarm import Honeyfarm
+from repro.forensics import ForensicTriage
+from repro.net.addr import IPAddress
+from repro.net.packet import TcpFlags, tcp_packet, udp_packet
+from repro.services.personality import default_registry
+
+ATTACKER = IPAddress.parse("203.0.113.80")
+CLEAN_VMS = 24
+SLAMMER_VICTIMS = 12
+CODERED_VICTIMS = 8
+SASSER_VICTIMS = 6
+
+
+def run_incident() -> Honeyfarm:
+    """A farm that has weathered clean probes plus three distinct worms
+    (containment drop-all so the populations stay controlled)."""
+    farm = Honeyfarm(HoneyfarmConfig(
+        prefixes=("10.16.0.0/25",), num_hosts=2,
+        containment="drop-all", idle_timeout_seconds=600.0,
+        clone_jitter=0.0, seed=55,
+    ))
+    addr = iter(range(1, 126))
+    for __ in range(CLEAN_VMS):
+        dst = IPAddress.parse(f"10.16.0.{next(addr)}")
+        farm.inject(tcp_packet(ATTACKER, dst, 1000, 445))
+        farm.inject(tcp_packet(ATTACKER, dst, 1000, 445,
+                               flags=TcpFlags.PSH | TcpFlags.ACK, payload="probe"))
+    for __ in range(SLAMMER_VICTIMS):
+        dst = IPAddress.parse(f"10.16.0.{next(addr)}")
+        farm.inject(udp_packet(ATTACKER, dst, 2000, 1434, payload="exploit:slammer"))
+    for __ in range(CODERED_VICTIMS):
+        dst = IPAddress.parse(f"10.16.0.{next(addr)}")
+        farm.inject(tcp_packet(ATTACKER, dst, 3000, 80))
+        farm.inject(tcp_packet(ATTACKER, dst, 3000, 80,
+                               flags=TcpFlags.PSH | TcpFlags.ACK,
+                               payload="exploit:codered"))
+    for __ in range(SASSER_VICTIMS):
+        dst = IPAddress.parse(f"10.16.0.{next(addr)}")
+        farm.inject(tcp_packet(ATTACKER, dst, 4000, 445))
+        farm.inject(tcp_packet(ATTACKER, dst, 4000, 445,
+                               flags=TcpFlags.PSH | TcpFlags.ACK,
+                               payload="exploit:sasser"))
+    farm.run(until=15.0)
+    return farm
+
+
+def test_forensic_triage_recovers_worm_families(benchmark):
+    farm = benchmark.pedantic(run_incident, rounds=1, iterations=1)
+    catalog = default_registry().catalog
+
+    triage = ForensicTriage(farm)
+    triage.collect()
+    report = triage.report()
+
+    rows = []
+    for sig in report.signatures:
+        true_pages = (
+            catalog.get(sig.dominant_worm).infection_pages
+            if sig.dominant_worm else 0
+        )
+        rows.append([
+            sig.dominant_worm or "(unlabelled)",
+            sig.cluster_size,
+            sig.body_pages,
+            true_pages,
+            f"{sig.purity * 100:.0f}%",
+        ])
+    report_text = format_table(
+        ["family", "captures", "estimated body pages", "true body pages",
+         "purity"],
+        rows,
+        title=(
+            f"D-FORENSICS: {report.infected_vms} captures,"
+            f" {report.clean_vms} clean VMs, label-free clustering"
+        ),
+    )
+    register_report("D-FORENSICS_triage", report_text)
+
+    assert report.clean_vms == CLEAN_VMS
+    assert report.infected_vms == SLAMMER_VICTIMS + CODERED_VICTIMS + SASSER_VICTIMS
+    by_worm = {s.dominant_worm: s for s in report.signatures}
+    assert set(by_worm) == {"slammer", "codered", "sasser"}
+    for name, sig in by_worm.items():
+        assert sig.purity == 1.0
+        true_pages = catalog.get(name).infection_pages
+        assert abs(sig.body_pages - true_pages) <= 8
+
+
+def test_dedup_opportunity_after_incident(benchmark):
+    farm = benchmark.pedantic(run_incident, rounds=1, iterations=1)
+    catalog = default_registry().catalog
+
+    stats = dedup_opportunity(farm.hosts)
+    register_report("D-DEDUP_content_sharing", stats.render())
+
+    expected_shareable = (
+        (SLAMMER_VICTIMS - 1) * catalog.get("slammer").infection_pages
+        + (CODERED_VICTIMS - 1) * catalog.get("codered").infection_pages
+        + (SASSER_VICTIMS - 1) * catalog.get("sasser").infection_pages
+    )
+    assert stats.shareable_frames == expected_shareable
+    assert stats.largest_duplicate_group == SLAMMER_VICTIMS
+    assert 0.05 < stats.savings_fraction < 0.95

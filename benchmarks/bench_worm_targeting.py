@@ -1,0 +1,71 @@
+"""Experiment D-TARGET (extension) — worm targeting vs farm capture rate.
+
+Honeyfarms are not neutral observers of every worm equally: a worm with
+*local* scanning preference (Code Red II's 1/2-same-/8, 3/8-same-/16
+mix) that lands inside a monitored /16 hammers that same /16, so the
+farm keeps capturing it even with **no reflection at all** — while a
+uniform scanner that compromises one honeypot essentially never returns
+(2^-16 per scan). Reflection equalises the two: it manufactures the
+locality that uniform worms lack.
+
+Table: captures after one index case under {uniform, local} × {open,
+reflect}.
+"""
+
+from __future__ import annotations
+
+from conftest import register_report
+
+from repro.analysis.report import format_table
+from repro.core.config import HoneyfarmConfig
+from repro.core.honeyfarm import Honeyfarm
+from repro.net.addr import IPAddress
+from repro.net.packet import PROTO_UDP, udp_packet
+from repro.services.guest import ScanBehavior
+
+ATTACKER = IPAddress.parse("203.0.113.31")
+INDEX_CASE = IPAddress.parse("10.16.7.7")
+DURATION = 15.0
+
+
+def run_case(targeting: str, containment: str) -> int:
+    farm = Honeyfarm(HoneyfarmConfig(
+        prefixes=("10.16.0.0/16",), num_hosts=2, max_vms_per_host=64,
+        containment=containment, clone_jitter=0.0, seed=19,
+        idle_timeout_seconds=600.0,
+    ))
+    farm.register_worm(ScanBehavior(
+        "slammer", PROTO_UDP, 1434, "exploit:slammer", scan_rate=60.0,
+        targeting=targeting,
+    ))
+    farm.inject(udp_packet(ATTACKER, INDEX_CASE, 1, 1434,
+                           payload="exploit:slammer"))
+    farm.run(until=DURATION)
+    return farm.infection_count()
+
+
+def test_targeting_vs_capture_rate(benchmark):
+    cases = [("uniform", "open"), ("local", "open"),
+             ("uniform", "reflect"), ("local", "reflect")]
+    results = benchmark.pedantic(
+        lambda: {case: run_case(*case) for case in cases},
+        rounds=1, iterations=1,
+    )
+
+    rows = [
+        [targeting, containment, captures]
+        for (targeting, containment), captures in results.items()
+    ]
+    report = format_table(
+        ["worm targeting", "containment", "captures in 15s"],
+        rows,
+        title="D-TARGET: one index case in a /16 farm (128-VM budget)",
+    )
+    register_report("D-TARGET_worm_targeting", report)
+
+    # Without reflection, only the local worm snowballs.
+    assert results[("uniform", "open")] <= 2
+    assert results[("local", "open")] > 10 * max(results[("uniform", "open")], 1)
+    # Reflection manufactures locality: both worms snowball.
+    assert results[("uniform", "reflect")] > 50
+    assert results[("local", "reflect")] > 50

@@ -1,0 +1,42 @@
+"""Benchmark harness support.
+
+Each bench regenerates one of the paper's tables or figures (see the
+experiment index in DESIGN.md) and registers a plain-text report via
+:func:`register_report`. Reports are printed in the terminal summary —
+so ``pytest benchmarks/ --benchmark-only`` shows the reproduced rows and
+series alongside pytest-benchmark's wall-clock numbers — and also written
+to ``benchmarks/reports/<name>.txt`` for diffing across runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+_REPORTS: List[Tuple[str, str]] = []
+_REPORT_DIR = Path(__file__).parent / "reports"
+
+
+def register_report(name: str, text: str) -> None:
+    """Register one experiment's rendered table/series for output."""
+    _REPORTS.append((name, text))
+    _REPORT_DIR.mkdir(exist_ok=True)
+    (_REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def report_csv(name: str, series, value_label: str = "value") -> None:
+    """Write one figure series as a plot-ready CSV next to the reports."""
+    _REPORT_DIR.mkdir(exist_ok=True)
+    series.to_csv(_REPORT_DIR / f"{name}.csv", value_label=value_label)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "reproduced tables and figures")
+    for name, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {name} ---")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+    terminalreporter.write_line("")

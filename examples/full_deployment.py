@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Scenario: a multi-network Potemkin deployment, end to end.
+
+The paper's operational configuration in miniature: several
+participating networks run border routers that GRE-tunnel their dark
+prefixes to one gateway (the real deployment tunnelled 64 /16s); the
+gateway fronts a server cluster with a warm VM pool; content sifting
+watches every inbound payload; and a worm outbreak arrives *through the
+tunnels* in the middle of ordinary background radiation.
+
+What to watch:
+
+* traffic from all contributing networks funnels through one gateway
+  and replies exit through the network that owns each impersonated
+  address (the GRE return path);
+* the warm pool keeps first-packet service at identity-swap latency;
+* the sifter flags the worm payload within seconds, across networks;
+* containment holds farm-wide — one policy, every tunnel.
+
+Run:  python examples/full_deployment.py
+"""
+
+from repro.analysis.epidemics import summarize_containment
+from repro.analysis.report import format_table
+from repro.core.config import HoneyfarmConfig
+from repro.core.honeyfarm import Honeyfarm
+from repro.detection import ContentSifter, SifterConfig
+from repro.net.addr import IPAddress, Prefix
+from repro.net.gre import GreTunnel
+from repro.net.link import Link
+from repro.net.router import BorderRouter
+from repro.services.guest import ScanBehavior
+from repro.workloads.telescope import TelescopeConfig, TelescopeWorkload
+from repro.workloads.trace import TraceRecord
+
+# Three participating networks, each contributing one dark /18.
+NETWORKS = {
+    1: Prefix.parse("10.16.0.0/18"),
+    2: Prefix.parse("10.16.64.0/18"),
+    3: Prefix.parse("10.16.128.0/18"),
+}
+DURATION = 90.0
+GATEWAY_EP = IPAddress.parse("198.51.100.254")
+
+
+def build_deployment():
+    farm = Honeyfarm(HoneyfarmConfig(
+        prefixes=tuple(str(p) for p in NETWORKS.values()),
+        num_hosts=4,
+        max_vms_per_host=128,   # bound the in-farm epidemic's footprint
+        containment="reflect",
+        idle_timeout_seconds=20.0,
+        warm_pool_size=32,
+        clone_jitter=0.05,
+        seed=31,
+    ))
+    sifter = ContentSifter(
+        SifterConfig(prevalence_threshold=25, source_threshold=3,
+                     destination_threshold=12),
+        clock=lambda: farm.sim.now,
+    )
+    farm.attach_packet_tap(sifter.observe)
+
+    routers = {}
+    replies_out = {key: [] for key in NETWORKS}
+    for key, prefix in NETWORKS.items():
+        tunnel = GreTunnel(
+            key=key,
+            router_endpoint=IPAddress.parse(f"198.51.100.{key}"),
+            gateway_endpoint=GATEWAY_EP,
+        )
+        uplink = Link(farm.sim, farm.gateway.receive_tunnel,
+                      propagation_delay=0.003, name=f"uplink-{key}")
+        router = BorderRouter(
+            tunnel, [prefix], uplink,
+            external_sink=replies_out[key].append,
+        )
+        downlink = Link(farm.sim, router.receive_from_gateway,
+                        propagation_delay=0.003, name=f"downlink-{key}")
+        farm.gateway.register_tunnel(tunnel, [prefix], return_link=downlink)
+        routers[key] = router
+    return farm, sifter, routers, replies_out
+
+
+def main() -> None:
+    farm, sifter, routers, replies_out = build_deployment()
+
+    # Background radiation for the whole telescope, fed via the routers.
+    workload = TelescopeWorkload(
+        list(NETWORKS.values()),
+        TelescopeConfig(seed=47, sources_per_second_per_slash16=6.0,
+                        exploit_source_fraction=0.0),  # outbreak is the event
+    )
+    records = workload.generate(DURATION)
+    for record in records:
+        packet = record.to_packet()
+        for router in routers.values():
+            if router.covers(packet.dst):
+                farm.sim.schedule_at(
+                    record.time, router.receive_from_internet, packet
+                )
+                break
+
+    # A Slammer outbreak arrives at t=60 through network 2's tunnel.
+    farm.register_worm(ScanBehavior(
+        "slammer", 17, 1434, "exploit:slammer", scan_rate=2.0,
+    ))
+    index_case = TraceRecord(
+        time=60.0, src="203.0.113.200", dst="10.16.64.25",
+        protocol=17, src_port=4000, dst_port=1434,
+        payload="exploit:slammer", size=404,
+    )
+    farm.sim.schedule_at(60.0, routers[2].receive_from_internet,
+                         index_case.to_packet())
+
+    farm.run(until=DURATION)
+
+    counters = farm.metrics.counters()
+    summary = summarize_containment(farm)
+    alert = sifter.alert_for("exploit:slammer")
+    ready = farm.metrics.histogram("farm.address_ready_seconds")
+    pool_assign = farm.metrics.histogram("clone.pool_assign_seconds")
+
+    per_network = [
+        [f"network {key} ({NETWORKS[key]})",
+         routers[key].metrics.counter("router.diverted").value,
+         len(replies_out[key])]
+        for key in NETWORKS
+    ]
+    print(format_table(
+        ["contributing network", "packets tunnelled in", "replies returned"],
+        per_network, title="GRE tunnel traffic by network",
+    ))
+    print()
+    print(format_table(["metric", "value"], [
+        ["telescope packets generated", len(records)],
+        ["addresses impersonated", farm.inventory.total_addresses],
+        ["VMs spawned", counters["farm.vms_spawned"]],
+        ["warm-pool hits / misses",
+         f"{counters.get('farm.pool_hits', 0)} /"
+         f" {counters.get('farm.pool_misses', 0)}"],
+        ["pool-hit time-to-ready (ms)",
+         f"{pool_assign.percentile(50) * 1000:.0f}"],
+        ["overall median time-to-ready (ms)", f"{ready.percentile(50) * 1000:.0f}"],
+        ["worm captures", summary.infections_total],
+        ["sifter alert at (s)",
+         f"{alert.time:.1f}" if alert else "none"],
+        ["escaped packets", summary.escaped_packets],
+    ], title=f"Deployment summary ({DURATION:.0f}s)"))
+
+    assert summary.contained
+    print("\nThree networks, one gateway, one policy: background probes were"
+          "\nanswered at pool latency, the worm was flagged within seconds"
+          "\nand bottled up (its flood outran the pool — misses fall back to"
+          "\nfull clones), and each network's replies went home through its"
+          "\nown tunnel.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Quickstart: a tiny honeyfarm, end to end, in under a minute of sim time.
+
+Builds a single-host farm impersonating a /24 of dark space, sends it the
+kinds of traffic a network telescope sees — a ping, a port scan, and a
+real exploit — and shows what the paper's three mechanisms did about it:
+
+* on-demand **flash cloning** gave every probed address a live VM in
+  ~0.5 s,
+* **delta virtualization** kept each VM's marginal memory footprint to
+  ~1 MiB against a 128 MiB image,
+* **containment** (reflection) bottled the captured worm inside the farm
+  while letting it keep propagating for observation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Honeyfarm, HoneyfarmConfig
+from repro.analysis.epidemics import summarize_containment
+from repro.analysis.report import format_table
+from repro.net.addr import IPAddress
+from repro.net.packet import PROTO_UDP, icmp_packet, tcp_packet, udp_packet
+from repro.services.guest import ScanBehavior
+
+
+def main() -> None:
+    farm = Honeyfarm(HoneyfarmConfig(
+        prefixes=("10.16.0.0/24",),   # 256 dark addresses
+        num_hosts=1,                  # one 2 GiB server
+        containment="reflect",        # the paper's signature policy
+        idle_timeout_seconds=30.0,
+        seed=1,
+    ))
+    # Teach the farm how Slammer behaves once it compromises a honeypot.
+    farm.register_worm(ScanBehavior(
+        worm_name="slammer", protocol=PROTO_UDP, dst_port=1434,
+        exploit_tag="exploit:slammer", scan_rate=25.0,
+    ))
+
+    attacker = IPAddress.parse("203.0.113.7")
+
+    # 1. A ping to a dark address: a VM is flash-cloned and answers.
+    farm.inject(icmp_packet(attacker, IPAddress.parse("10.16.0.10")))
+
+    # 2. A SYN scan across a few addresses: each gets its own honeypot.
+    for i in range(20, 25):
+        farm.inject(tcp_packet(attacker, IPAddress.parse(f"10.16.0.{i}"), 4000 + i, 445))
+
+    # 3. A real exploit: the honeypot is compromised, and the worm's
+    #    outbound scans are reflected back into the farm.
+    farm.inject(udp_packet(attacker, IPAddress.parse("10.16.0.30"), 4999, 1434,
+                           payload="exploit:slammer"))
+
+    farm.run(until=30.0)
+
+    breakdown = farm.memory_breakdown()
+    summary = summarize_containment(farm)
+    clone_ms = farm.clone_engine.mean_latency_seconds() * 1000
+
+    print(format_table(["metric", "value"], [
+        ["addresses impersonated", farm.inventory.total_addresses],
+        ["VMs flash-cloned", farm.metrics.counters()["farm.vms_spawned"]],
+        ["mean clone latency (ms)", f"{clone_ms:.0f}"],
+        ["live VMs now", farm.live_vms],
+        ["memory: image resident (MiB)", f"{breakdown.image_resident / 2**20:.0f}"],
+        ["memory: private per VM (MiB)", f"{breakdown.mean_private_per_vm / 2**20:.2f}"],
+        ["memory saved vs full copies", f"{breakdown.consolidation_factor:.0f}x"],
+        ["worm infections captured", summary.infections_total],
+        ["epidemic generations observed", summary.max_generation],
+        ["packets escaped to Internet", summary.escaped_packets],
+    ], title="Potemkin quickstart (30 simulated seconds)"))
+
+    assert summary.escaped_packets == 0, "containment must hold"
+    print("\nNothing escaped; the worm kept spreading *inside* the farm —"
+          "\nscalability, fidelity, and containment at once.")
+
+
+if __name__ == "__main__":
+    main()

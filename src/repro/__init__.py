@@ -1,0 +1,30 @@
+"""repro — a reproduction of the Potemkin virtual honeyfarm (SOSP 2005).
+
+Potemkin dissolves the honeypot trade-off between scalability, fidelity,
+and containment by backing large dark address spaces with virtual
+machines that are created on demand (flash cloning), share memory
+copy-on-write (delta virtualization), and sit behind a gateway that
+enforces containment policy on everything they emit.
+
+Quick start::
+
+    from repro import Honeyfarm, HoneyfarmConfig
+    from repro.net import IPAddress, udp_packet
+
+    farm = Honeyfarm(HoneyfarmConfig(prefixes=("10.16.0.0/24",), num_hosts=1))
+    farm.inject(udp_packet(IPAddress.parse("203.0.113.9"),
+                           IPAddress.parse("10.16.0.25"), 4000, 1434,
+                           payload="exploit:slammer"))
+    farm.run(until=30.0)
+    print(farm.live_vms, farm.infection_count())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every reproduced table and figure.
+"""
+
+from repro.core.config import HoneyfarmConfig
+from repro.core.honeyfarm import Honeyfarm
+
+__version__ = "1.0.0"
+
+__all__ = ["Honeyfarm", "HoneyfarmConfig", "__version__"]

@@ -1,0 +1,38 @@
+"""Analysis: turning runs and traces into the paper's tables and figures.
+
+* :mod:`repro.analysis.concurrency` — the idle-timeout ↔ concurrent-VM
+  trade-off, computed exactly from arrival traces (experiment F-CONC).
+* :mod:`repro.analysis.memory_stats` — per-VM footprint distributions and
+  VMs-per-host capacity estimates (experiment F-MEM).
+* :mod:`repro.analysis.epidemics` — infection curves, generation depth,
+  and containment-effectiveness summaries (experiment F-CONTAIN).
+* :mod:`repro.analysis.report` — plain-text tables and series rendering
+  shared by the benchmark harness.
+"""
+
+from repro.analysis.concurrency import ConcurrencyResult, concurrency_for_timeout, sweep_timeouts
+from repro.analysis.epidemics import ContainmentSummary, infection_curve, summarize_containment
+from repro.analysis.memory_stats import FootprintSummary, footprint_summary, vms_per_host_estimate
+from repro.analysis.dedup import DedupStats, dedup_opportunity
+from repro.analysis.report import format_series, format_table
+from repro.analysis.summary import farm_run_report
+from repro.analysis.telescope_stats import TrafficProfile, characterize_trace
+
+__all__ = [
+    "ConcurrencyResult",
+    "ContainmentSummary",
+    "DedupStats",
+    "FootprintSummary",
+    "TrafficProfile",
+    "characterize_trace",
+    "concurrency_for_timeout",
+    "dedup_opportunity",
+    "farm_run_report",
+    "footprint_summary",
+    "format_series",
+    "format_table",
+    "infection_curve",
+    "summarize_containment",
+    "sweep_timeouts",
+    "vms_per_host_estimate",
+]

@@ -1,0 +1,93 @@
+"""Content-based page sharing: quantifying the paper's future work.
+
+Delta virtualization shares pages that were *never modified*. The paper
+points at a further step — sharing pages whose contents happen to be
+identical even though they were written independently (ESX-style content
+dedup). In a honeyfarm that redundancy is enormous: every victim of the
+same worm carries the same worm body.
+
+This module measures the opportunity rather than mutating the memory
+system: a scanner hashes every private page's content tag across a host
+(or farm) and reports how many frames a content-sharing VMM would
+reclaim. Worm bodies write deterministic per-worm content tags (see
+:func:`repro.services.guest._worm_page_content`), so the measured
+savings reflect exactly the cross-victim redundancy a real scanner
+would find.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.report import format_table
+from repro.vmm.host import PhysicalHost
+from repro.vmm.memory import PAGE_SIZE
+
+__all__ = ["DedupStats", "dedup_opportunity"]
+
+
+@dataclass(frozen=True)
+class DedupStats:
+    """What a content-sharing scanner found."""
+
+    vms_scanned: int
+    total_private_frames: int
+    distinct_contents: int
+    shareable_frames: int        # frames beyond the first copy of each content
+    largest_duplicate_group: int
+
+    @property
+    def total_private_bytes(self) -> int:
+        return self.total_private_frames * PAGE_SIZE
+
+    @property
+    def shareable_bytes(self) -> int:
+        return self.shareable_frames * PAGE_SIZE
+
+    @property
+    def savings_fraction(self) -> float:
+        """Fraction of private memory a content-sharing VMM reclaims."""
+        if self.total_private_frames == 0:
+            return 0.0
+        return self.shareable_frames / self.total_private_frames
+
+    def render(self) -> str:
+        return format_table(["metric", "value"], [
+            ["VMs scanned", self.vms_scanned],
+            ["private frames", self.total_private_frames],
+            ["distinct page contents", self.distinct_contents],
+            ["shareable frames", self.shareable_frames],
+            ["savings", f"{self.savings_fraction * 100:.1f}%"],
+            ["largest duplicate group", self.largest_duplicate_group],
+            ["reclaimable MiB", f"{self.shareable_bytes / 2**20:.1f}"],
+        ], title="Content-based sharing opportunity")
+
+
+def dedup_opportunity(hosts: Iterable[PhysicalHost]) -> DedupStats:
+    """Scan all live VMs' private pages for identical contents.
+
+    O(total private pages); the same pass a background scanner in the
+    VMM would make.
+    """
+    counts: Dict[int, int] = {}
+    total = 0
+    vms = 0
+    for host in hosts:
+        for vm in host.vms():
+            if vm.address_space.destroyed:
+                continue
+            vms += 1
+            for __, content in vm.address_space.private_page_contents():
+                counts[content] = counts.get(content, 0) + 1
+                total += 1
+    distinct = len(counts)
+    shareable = total - distinct
+    largest = max(counts.values()) if counts else 0
+    return DedupStats(
+        vms_scanned=vms,
+        total_private_frames=total,
+        distinct_contents=distinct,
+        shareable_frames=shareable,
+        largest_duplicate_group=largest,
+    )

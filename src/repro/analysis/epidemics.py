@@ -1,0 +1,92 @@
+"""Epidemic curves and containment effectiveness (experiment F-CONTAIN).
+
+Containment quality is judged on two axes the paper articulates:
+
+* **Safety** — did anything the farm's honeypots initiated reach the
+  Internet? (``escaped_packets`` must be zero for every policy except
+  the deliberately unsafe ``open``.)
+* **Fidelity** — did multi-stage behaviour remain observable? Reflection
+  is the only safe policy under which the in-farm epidemic *continues*
+  (infections at generation ≥ 1), which is exactly the paper's argument
+  for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.honeyfarm import Honeyfarm
+from repro.services.guest import InfectionRecord
+from repro.sim.metrics import TimeSeries
+
+__all__ = ["ContainmentSummary", "infection_curve", "generation_histogram", "summarize_containment"]
+
+
+@dataclass(frozen=True)
+class ContainmentSummary:
+    """One policy's outcome for the containment comparison table."""
+
+    policy: str
+    infections_total: int
+    first_generation_infections: int
+    max_generation: int
+    onward_infections: int  # generation >= 1: multi-stage spread observed
+    escaped_packets: int    # honeypot-initiated packets that left the farm
+    dns_transactions: int
+    reflected_packets: int
+    dropped_packets: int
+
+    @property
+    def contained(self) -> bool:
+        """True when nothing honeypot-initiated escaped."""
+        return self.escaped_packets == 0
+
+    @property
+    def fidelity_preserved(self) -> bool:
+        """True when infected honeypots were observed propagating."""
+        return self.onward_infections > 0
+
+
+def infection_curve(
+    infections: Sequence[InfectionRecord], sample_interval: float = 1.0
+) -> TimeSeries:
+    """Cumulative infections over time (the outbreak figure's y-axis)."""
+    series = TimeSeries("infections_cumulative")
+    count = 0
+    for record in sorted(infections, key=lambda r: r.time):
+        count += 1
+        series.record(record.time, count)
+    return series
+
+
+def generation_histogram(infections: Sequence[InfectionRecord]) -> Dict[int, int]:
+    """Infections per epidemic generation (0 = arrived from outside)."""
+    hist: Dict[int, int] = {}
+    for record in infections:
+        hist[record.generation] = hist.get(record.generation, 0) + 1
+    return dict(sorted(hist.items()))
+
+
+def summarize_containment(farm: Honeyfarm) -> ContainmentSummary:
+    """Read a finished run's containment outcome off the farm's metrics.
+
+    ``escaped_packets`` counts ``gateway.initiated_external_out`` —
+    honeypot-*initiated* packets the policy let reach the Internet.
+    Replies to external scanners (the farm's purpose) leave via the same
+    tunnels but are counted separately and are not escapes.
+    """
+    counters = farm.metrics.counters()
+    generations = generation_histogram(farm.infections)
+    onward = sum(count for gen, count in generations.items() if gen >= 1)
+    return ContainmentSummary(
+        policy=farm.config.containment,
+        infections_total=len(farm.infections),
+        first_generation_infections=generations.get(0, 0),
+        max_generation=max(generations) if generations else 0,
+        onward_infections=onward,
+        escaped_packets=counters.get("gateway.initiated_external_out", 0),
+        dns_transactions=counters.get("gateway.dns_answered", 0),
+        reflected_packets=counters.get("gateway.outbound.reflected", 0),
+        dropped_packets=counters.get("gateway.outbound.dropped", 0),
+    )

@@ -1,0 +1,79 @@
+"""Plain-text rendering shared by the benchmark harness.
+
+Benches print the same rows/series the paper's tables and figures report;
+these helpers keep that output consistent and diff-able across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.sim.metrics import TimeSeries
+
+__all__ = ["format_table", "format_series"]
+
+Cell = Union[str, int, float]
+
+
+def _render(cell: Cell) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(format_table(["stage", "ms"], [["toolstack", 279.0]]))
+    stage      ms
+    ---------  ------
+    toolstack  279.00
+    """
+    rendered = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip())
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip())
+    return "\n".join(lines)
+
+
+def format_series(
+    series: TimeSeries,
+    max_points: int = 20,
+    value_label: str = "value",
+) -> str:
+    """Render a time series as (time, value) rows, decimated to at most
+    ``max_points`` evenly spaced samples plus the final one."""
+    if len(series) == 0:
+        return f"{series.name}: (empty)"
+    n = len(series)
+    step = max(1, n // max_points)
+    indexes = list(range(0, n, step))
+    if indexes[-1] != n - 1:
+        indexes.append(n - 1)
+    rows = [[f"{series.times[i]:.1f}", series.values[i]] for i in indexes]
+    return format_table(["t(s)", value_label], rows, title=series.name)

@@ -1,0 +1,111 @@
+"""One-stop run summaries: everything a finished farm can tell you.
+
+`farm_run_report` composes the sections operators actually read after a
+run — traffic totals, VM lifecycle churn, memory economics, containment
+outcome, capture intelligence — into a single rendered report. The CLI's
+``demo`` subcommand and several examples use it; tests treat it as the
+canonical "did the run make sense" rendering.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.epidemics import generation_histogram, summarize_containment
+from repro.analysis.memory_stats import footprint_summary
+from repro.analysis.report import format_table
+from repro.core.honeyfarm import Honeyfarm
+
+__all__ = ["farm_run_report"]
+
+
+def _traffic_section(farm: Honeyfarm) -> str:
+    counters = farm.metrics.counters()
+    return format_table(["metric", "value"], [
+        ["packets in", counters.get("gateway.packets_in", 0)],
+        ["delivered to guests", counters.get("gateway.delivered", 0)],
+        ["queued during clone", counters.get("gateway.queued_during_clone", 0)],
+        ["strays dropped", counters.get("gateway.stray", 0)],
+        ["replies to Internet", counters.get("gateway.reply_external_out", 0)],
+    ], title="Traffic")
+
+
+def _vm_section(farm: Honeyfarm) -> str:
+    counters = farm.metrics.counters()
+    ready = farm.metrics.histogram("farm.address_ready_seconds")
+    rows = [
+        ["addresses impersonated", farm.inventory.total_addresses],
+        ["VMs spawned", counters.get("farm.vms_spawned", 0)],
+        ["VMs reclaimed", counters.get("farm.vms_reclaimed", 0)],
+        ["VMs detained", counters.get("farm.vms_detained", 0)],
+        ["live now", farm.live_vms],
+    ]
+    if ready.count:
+        rows.append(["median time-to-ready (ms)",
+                     f"{ready.percentile(50) * 1000:.0f}"])
+    if counters.get("farm.pool_hits"):
+        rows.append(["warm-pool hits", counters["farm.pool_hits"]])
+    return format_table(["metric", "value"], rows, title="VM lifecycle")
+
+
+def _memory_section(farm: Honeyfarm) -> str:
+    breakdown = farm.memory_breakdown()
+    live = [vm for host in farm.hosts for vm in host.vms()]
+    footprints = footprint_summary(live)
+    rows = [
+        ["images resident (MiB)", f"{breakdown.image_resident / 2**20:.0f}"],
+        ["private resident (MiB)", f"{breakdown.private_resident / 2**20:.1f}"],
+        ["consolidation vs full copies", f"{breakdown.consolidation_factor:.1f}x"],
+    ]
+    if footprints.vm_count:
+        rows.append(["mean private/VM (MiB)", f"{footprints.mean_mib:.2f}"])
+    return format_table(["metric", "value"], rows, title="Memory (delta virtualization)")
+
+
+def _containment_section(farm: Honeyfarm) -> str:
+    summary = summarize_containment(farm)
+    generations = generation_histogram(farm.infections)
+    rows = [
+        ["policy", summary.policy],
+        ["infections captured", summary.infections_total],
+        ["deepest generation", summary.max_generation],
+        ["reflected packets", summary.reflected_packets],
+        ["dropped packets", summary.dropped_packets],
+        ["dns transactions", summary.dns_transactions],
+        ["escaped packets", summary.escaped_packets],
+        ["contained", summary.contained],
+    ]
+    if generations:
+        spread = ", ".join(f"g{g}:{n}" for g, n in generations.items())
+        rows.append(["per generation", spread])
+    return format_table(["metric", "value"], rows, title="Containment")
+
+
+def _intelligence_section(farm: Honeyfarm) -> Optional[str]:
+    worms = sorted({r.worm_name for r in farm.infections})
+    domains = farm.dns_server.rendezvous_domains()
+    if not worms and not domains:
+        return None
+    rows: List[List[str]] = []
+    if worms:
+        rows.append(["worm families captured", ", ".join(worms)])
+    if domains:
+        unique = sorted(set(domains))
+        rows.append(["rendezvous domains", ", ".join(unique[:5])])
+    if farm.detained:
+        rows.append(["VMs held for forensics", str(len(farm.detained))])
+    return format_table(["metric", "value"], rows, title="Intelligence")
+
+
+def farm_run_report(farm: Honeyfarm) -> str:
+    """Render the full post-run report for ``farm``."""
+    sections = [
+        _traffic_section(farm),
+        _vm_section(farm),
+        _memory_section(farm),
+        _containment_section(farm),
+    ]
+    intel = _intelligence_section(farm)
+    if intel is not None:
+        sections.append(intel)
+    return "\n\n".join(sections)

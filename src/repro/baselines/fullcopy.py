@@ -1,0 +1,20 @@
+"""The full-copy cloning ablation (A-ABL1).
+
+Clone-on-demand *without* delta virtualization: a new VM still skips the
+guest boot (it is forked from the reference snapshot), but its memory is
+eagerly copied rather than CoW-shared. Isolates the two halves of the
+paper's scalability claim — latency (flash cloning) and memory (delta
+virtualization) — by keeping the first and removing the second.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import HoneyfarmConfig
+from repro.core.honeyfarm import Honeyfarm
+
+__all__ = ["full_copy_farm"]
+
+
+def full_copy_farm(config: HoneyfarmConfig) -> Honeyfarm:
+    """A farm that clones by copying the entire memory image."""
+    return Honeyfarm(config.with_overrides(clone_mode="full-copy"))

@@ -1,0 +1,102 @@
+"""A stateless low-interaction responder (honeyd / iSink class).
+
+The scalable-but-shallow end of the design space the paper positions
+Potemkin against: a single process that answers probes to an arbitrary
+amount of address space with canned protocol responses. It needs no VMs,
+no cloning, and no per-address memory — and it can never actually be
+*infected*, so it observes scans but captures no malware behaviour.
+
+The class mirrors the guest's reply logic closely enough that fidelity
+comparisons are apples-to-apples at the packet level; the difference is
+that exploits bounce off (``would_have_infected`` counts the missed
+captures) and no second-stage behaviour ever occurs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.net.addr import AddressSpaceInventory
+from repro.net.packet import (
+    ICMP_ECHO_REQUEST,
+    PROTO_TCP,
+    PROTO_UDP,
+    Packet,
+    TcpFlags,
+)
+from repro.services.personality import Personality
+from repro.services.vulnerabilities import EXPLOIT_PREFIX
+
+__all__ = ["StatelessResponder"]
+
+
+class StatelessResponder:
+    """Answers probes to a whole dark space with one personality's
+    canned responses, keeping no per-address state."""
+
+    def __init__(self, inventory: AddressSpaceInventory, personality: Personality) -> None:
+        self.inventory = inventory
+        self.personality = personality
+        self.packets_seen = 0
+        self.replies_sent = 0
+        self.would_have_infected = 0
+        self.exploit_attempts_by_tag: Dict[str, int] = {}
+
+    def handle_packet(self, packet: Packet) -> List[Packet]:
+        """Reply to one probe; mirrors the guest's synchronous behaviour
+        minus infection and memory effects."""
+        if not self.inventory.covers(packet.dst):
+            return []
+        self.packets_seen += 1
+        if packet.payload.startswith(EXPLOIT_PREFIX):
+            self.exploit_attempts_by_tag[packet.payload] = (
+                self.exploit_attempts_by_tag.get(packet.payload, 0) + 1
+            )
+            self.would_have_infected += 1
+        reply = self._reply_for(packet)
+        if reply is None:
+            return []
+        self.replies_sent += 1
+        return [reply]
+
+    def _reply_for(self, packet: Packet) -> Optional[Packet]:
+        if packet.is_icmp:
+            if packet.icmp_type == ICMP_ECHO_REQUEST:
+                return packet.reply_template(size=packet.size)
+            return None
+        if packet.is_tcp:
+            service = self.personality.service_at(PROTO_TCP, packet.dst_port)
+            reply = packet.reply_template()
+            if packet.flags.is_syn:
+                reply.flags = (
+                    TcpFlags.SYN | TcpFlags.ACK
+                    if service is not None
+                    else TcpFlags.RST | TcpFlags.ACK
+                )
+                return reply
+            if service is not None and packet.payload and service.banner:
+                banner = packet.reply_template(payload=f"banner:{service.banner}")
+                banner.flags = TcpFlags.PSH | TcpFlags.ACK
+                return banner
+            return None
+        if packet.is_udp:
+            service = self.personality.service_at(PROTO_UDP, packet.dst_port)
+            if service is None:
+                unreachable = packet.reply_template()
+                unreachable.protocol = 1
+                unreachable.icmp_type = 3
+                return unreachable
+            if service.banner:
+                return packet.reply_template(payload=f"banner:{service.banner}")
+        return None
+
+    @property
+    def capture_count(self) -> int:
+        """Malware captures: always zero — the point of the comparison."""
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<StatelessResponder seen={self.packets_seen}"
+            f" missed_captures={self.would_have_infected}>"
+        )

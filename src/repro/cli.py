@@ -1,0 +1,180 @@
+"""``potemkin`` command-line interface.
+
+Three subcommands cover the interactive workflows a user reaches for
+before writing code against the API:
+
+* ``potemkin demo`` — run a small farm under a worm outbreak and print
+  the containment outcome.
+* ``potemkin telescope`` — generate a background-radiation trace to a
+  JSONL file (inspectable, replayable input for experiments).
+* ``potemkin concurrency`` — the idle-timeout sweep over a trace file
+  (or a freshly generated one), printing the F-CONC table.
+* ``potemkin forensics`` — run a multi-worm incident, then triage the
+  captured VMs: label-free family clustering, body-size estimates, and
+  the content-sharing (dedup) opportunity.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.concurrency import sweep_timeouts
+from repro.analysis.report import format_table
+from repro.core.config import HoneyfarmConfig
+from repro.core.honeyfarm import Honeyfarm
+from repro.net.addr import Prefix
+from repro.workloads.scenarios import outbreak_scenario
+from repro.workloads.telescope import TelescopeConfig, TelescopeWorkload
+from repro.workloads.trace import TraceReader, TraceWriter
+
+__all__ = ["main"]
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.analysis.summary import farm_run_report
+
+    farm, outbreak = outbreak_scenario(
+        worm_name=args.worm,
+        scan_rate=args.scan_rate,
+        containment=args.containment,
+        seed=args.seed,
+    )
+    outbreak.start()
+    farm.run(until=args.duration)
+    print(f"{args.worm} outbreak demo — {args.duration:.0f}s simulated\n")
+    print(farm_run_report(farm))
+    return 0
+
+
+def _cmd_telescope(args: argparse.Namespace) -> int:
+    prefixes = [Prefix.parse(p) for p in args.prefix]
+    workload = TelescopeWorkload(prefixes, TelescopeConfig(seed=args.seed))
+    records = workload.generate(args.duration)
+    with TraceWriter(args.output) as writer:
+        writer.write_all(records)
+    print(f"wrote {len(records)} records covering {args.duration:.0f}s to {args.output}")
+    return 0
+
+
+def _cmd_concurrency(args: argparse.Namespace) -> int:
+    if args.trace:
+        records = TraceReader(args.trace).read_all()
+    else:
+        prefixes = [Prefix.parse(p) for p in args.prefix]
+        workload = TelescopeWorkload(prefixes, TelescopeConfig(seed=args.seed))
+        records = workload.generate(args.duration)
+    results = sweep_timeouts(records, args.timeout)
+    rows = [
+        [f"{r.timeout:g}", r.peak_vms, f"{r.mean_vms:.1f}", r.vm_instantiations]
+        for r in results
+    ]
+    print(
+        format_table(
+            ["idle timeout (s)", "peak VMs", "mean VMs", "instantiations"],
+            rows,
+            title=f"Concurrency vs idle timeout ({len(records)} arrivals)",
+        )
+    )
+    return 0
+
+
+def _cmd_forensics(args: argparse.Namespace) -> int:
+    from repro.analysis.dedup import dedup_opportunity
+    from repro.forensics import ForensicTriage
+    from repro.net.addr import IPAddress
+    from repro.net.packet import TcpFlags, tcp_packet, udp_packet
+
+    farm = Honeyfarm(HoneyfarmConfig(
+        prefixes=("10.16.0.0/25",), num_hosts=2,
+        containment="drop-all", idle_timeout_seconds=600.0,
+        clone_jitter=0.0, seed=args.seed,
+    ))
+    attacker = IPAddress.parse("203.0.113.80")
+    addr = iter(range(1, 126))
+    for __ in range(16):  # clean population for the baseline
+        dst = IPAddress.parse(f"10.16.0.{next(addr)}")
+        farm.inject(tcp_packet(attacker, dst, 1000, 445))
+    for __ in range(args.victims):
+        dst = IPAddress.parse(f"10.16.0.{next(addr)}")
+        farm.inject(udp_packet(attacker, dst, 2000, 1434, payload="exploit:slammer"))
+    for __ in range(args.victims // 2):
+        dst = IPAddress.parse(f"10.16.0.{next(addr)}")
+        farm.inject(tcp_packet(attacker, dst, 3000, 80))
+        farm.inject(tcp_packet(attacker, dst, 3000, 80,
+                               flags=TcpFlags.PSH | TcpFlags.ACK,
+                               payload="exploit:codered"))
+    farm.run(until=10.0)
+
+    triage = ForensicTriage(farm)
+    triage.collect()
+    print(triage.report().render())
+    print()
+    print(dedup_opportunity(farm.hosts).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="potemkin",
+        description="Potemkin virtual honeyfarm reproduction (SOSP 2005)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run a worm outbreak against a small farm")
+    demo.add_argument("--worm", default="codered", help="worm name (default: codered)")
+    demo.add_argument("--scan-rate", type=float, default=20.0, help="scans/s per host")
+    demo.add_argument(
+        "--containment",
+        default="reflect",
+        choices=["open", "drop-all", "allow-dns", "reflect"],
+    )
+    demo.add_argument("--duration", type=float, default=120.0, help="simulated seconds")
+    demo.add_argument("--seed", type=int, default=1)
+    demo.set_defaults(func=_cmd_demo)
+
+    telescope = sub.add_parser("telescope", help="generate a background-radiation trace")
+    telescope.add_argument("--prefix", action="append", default=None,
+                           help="dark prefix (repeatable; default 10.16.0.0/16)")
+    telescope.add_argument("--duration", type=float, default=60.0)
+    telescope.add_argument("--seed", type=int, default=77)
+    telescope.add_argument("--output", default="telescope.jsonl")
+    telescope.set_defaults(func=_cmd_telescope)
+
+    conc = sub.add_parser("concurrency", help="idle-timeout sweep over a trace")
+    conc.add_argument("--trace", default=None, help="JSONL trace file (else generate)")
+    conc.add_argument("--prefix", action="append", default=None)
+    conc.add_argument("--duration", type=float, default=60.0)
+    conc.add_argument("--seed", type=int, default=77)
+    conc.add_argument(
+        "--timeout",
+        type=float,
+        action="append",
+        default=None,
+        help="idle timeout to evaluate (repeatable)",
+    )
+    conc.set_defaults(func=_cmd_concurrency)
+
+    forensics = sub.add_parser(
+        "forensics", help="run a multi-worm incident and triage the captures"
+    )
+    forensics.add_argument("--victims", type=int, default=10,
+                           help="slammer victims (codered gets half)")
+    forensics.add_argument("--seed", type=int, default=55)
+    forensics.set_defaults(func=_cmd_forensics)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "prefix", None) is None and hasattr(args, "prefix"):
+        args.prefix = ["10.16.0.0/16"]
+    if getattr(args, "timeout", None) is None and hasattr(args, "timeout"):
+        args.timeout = [1.0, 5.0, 30.0, 60.0, 300.0, 600.0]
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution guard
+    sys.exit(main())

@@ -1,0 +1,188 @@
+"""Declarative honeyfarm configuration.
+
+One :class:`HoneyfarmConfig` fully describes a farm: address space,
+cluster shape, per-prefix personalities, policy knobs, and the root seed.
+Experiments construct variants with :func:`dataclasses.replace`, which
+keeps parameter sweeps explicit and diff-able.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from repro.net.addr import IPAddress, Prefix
+
+__all__ = ["HoneyfarmConfig"]
+
+
+@dataclass(frozen=True)
+class HoneyfarmConfig:
+    """Every knob the honeyfarm exposes, with paper-faithful defaults.
+
+    Attributes
+    ----------
+    prefixes:
+        Dark prefixes (as strings, e.g. ``("10.16.0.0/16",)``) the farm
+        impersonates. Defaults to one /16, the paper's reference unit.
+    personality_by_prefix:
+        Prefix string → personality name; prefixes not listed use
+        ``default_personality``.
+    personality_mix:
+        Optional personality-name → weight mapping. When set, each dark
+        address is assigned a personality by a stable hash of the
+        address, weighted accordingly — so the farm presents a
+        heterogeneous population (a /16 that is 70% Windows, 30% Linux)
+        while every repeat visit to one address sees the same host.
+        Overrides the per-prefix mapping.
+    num_hosts / host_memory_bytes / max_vms_per_host:
+        Cluster shape. Defaults mirror the paper's testbed class: 2 GiB
+        servers.
+    vm_image_bytes:
+        Guest memory size for reference snapshots (128 MiB default).
+    idle_timeout_seconds:
+        The central reclamation knob: a VM idle this long is reclaimed.
+    sweep_interval_seconds:
+        How often the reclamation daemon scans for victims.
+    memory_pressure_threshold:
+        Host memory utilisation above which the pressure policy starts
+        evicting the least-recently-active VMs even before their idle
+        timeout (None disables).
+    warm_pool_size:
+        Pre-created pristine VMs kept waiting for an address (0 disables
+        the pool). A packet for a cold address then pays only the
+        identity-swap latency (~60 ms) instead of the full clone pipeline
+        (~520 ms); a background daemon refills the pool.
+    containment:
+        Name of the containment policy: ``open``, ``drop-all``,
+        ``allow-dns``, or ``reflect``.
+    outbound_rate_limit:
+        Max *allowed* outbound packets/second per VM (None = unlimited);
+        applied on top of whichever policy is selected.
+    detain_infected:
+        Pause (retain for forensics) rather than destroy infected VMs at
+        reclamation time, up to ``max_detained``.
+    clone_jitter:
+        Coefficient of variation on clone stage latencies.
+    clone_mode:
+        ``flash`` (delta virtualization, the system under test),
+        ``full-copy`` (the eager-copy ablation A-ABL1), or ``boot``
+        (the dedicated-honeypot baseline: cold boot + private image).
+    seed:
+        Root seed for every random stream in the run.
+    """
+
+    prefixes: Tuple[str, ...] = ("10.16.0.0/16",)
+    personality_by_prefix: Dict[str, str] = field(default_factory=dict)
+    personality_mix: Optional[Dict[str, float]] = None
+    default_personality: str = "windows-default"
+    num_hosts: int = 4
+    host_memory_bytes: int = 2 * (1 << 30)
+    max_vms_per_host: int = 512
+    vm_image_bytes: int = 128 * (1 << 20)
+    idle_timeout_seconds: float = 60.0
+    sweep_interval_seconds: float = 1.0
+    memory_pressure_threshold: Optional[float] = 0.95
+    flow_idle_timeout_seconds: float = 60.0
+    containment: str = "reflect"
+    outbound_rate_limit: Optional[float] = None
+    detain_infected: bool = False
+    max_detained: int = 32
+    clone_jitter: float = 0.05
+    clone_mode: str = "flash"
+    warm_pool_size: int = 0
+    warm_pool_refill_interval: float = 0.25
+    placement_policy: str = "least-loaded"
+    dns_server_ip: str = "198.18.53.53"
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_hosts <= 0:
+            raise ValueError(f"num_hosts must be positive: {self.num_hosts!r}")
+        if self.idle_timeout_seconds <= 0:
+            raise ValueError(
+                f"idle_timeout_seconds must be positive: {self.idle_timeout_seconds!r}"
+            )
+        if self.sweep_interval_seconds <= 0:
+            raise ValueError(
+                f"sweep_interval_seconds must be positive: {self.sweep_interval_seconds!r}"
+            )
+        if self.containment not in ("open", "drop-all", "allow-dns", "reflect"):
+            raise ValueError(f"unknown containment policy: {self.containment!r}")
+        if self.clone_mode not in ("flash", "full-copy", "boot"):
+            raise ValueError(f"unknown clone_mode: {self.clone_mode!r}")
+        if self.warm_pool_size < 0:
+            raise ValueError(f"warm_pool_size must be >= 0: {self.warm_pool_size!r}")
+        if self.warm_pool_refill_interval <= 0:
+            raise ValueError("warm_pool_refill_interval must be positive")
+        if self.placement_policy not in ("least-loaded", "round-robin", "pack"):
+            raise ValueError(f"unknown placement_policy: {self.placement_policy!r}")
+        if self.memory_pressure_threshold is not None and not (
+            0.0 < self.memory_pressure_threshold <= 1.0
+        ):
+            raise ValueError(
+                "memory_pressure_threshold must be in (0, 1] or None:"
+                f" {self.memory_pressure_threshold!r}"
+            )
+        for prefix in self.prefixes:
+            Prefix.parse(prefix)  # validate eagerly; raises on malformed input
+        for prefix in self.personality_by_prefix:
+            if prefix not in self.prefixes:
+                raise ValueError(
+                    f"personality_by_prefix names unknown prefix {prefix!r}"
+                )
+        if self.personality_mix is not None:
+            if not self.personality_mix:
+                raise ValueError("personality_mix must not be empty")
+            for name, weight in self.personality_mix.items():
+                if weight <= 0:
+                    raise ValueError(
+                        f"personality_mix weight for {name!r} must be positive"
+                    )
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+
+    def parsed_prefixes(self) -> Tuple[Prefix, ...]:
+        return tuple(Prefix.parse(p) for p in self.prefixes)
+
+    def personality_for(self, prefix: Prefix) -> str:
+        return self.personality_by_prefix.get(str(prefix), self.default_personality)
+
+    def personality_for_address(self, prefix: Prefix, addr: IPAddress) -> str:
+        """The personality backing one dark address.
+
+        With a ``personality_mix``, the choice is a stable weighted hash
+        of the address (same address → same personality, forever);
+        otherwise the per-prefix mapping applies.
+        """
+        if self.personality_mix is None:
+            return self.personality_for(prefix)
+        import hashlib
+
+        names = sorted(self.personality_mix)
+        total = sum(self.personality_mix[name] for name in names)
+        digest = hashlib.sha256(f"personality:{addr.value}".encode()).digest()
+        roll = int.from_bytes(digest[:8], "big") / float(1 << 64) * total
+        acc = 0.0
+        for name in names:
+            acc += self.personality_mix[name]
+            if roll < acc:
+                return name
+        return names[-1]
+
+    def all_personalities(self) -> Tuple[str, ...]:
+        """Every personality this config can assign (snapshot planning)."""
+        names = {self.default_personality}
+        names.update(self.personality_by_prefix.values())
+        if self.personality_mix is not None:
+            names.update(self.personality_mix)
+        return tuple(sorted(names))
+
+    def dns_address(self) -> IPAddress:
+        return IPAddress.parse(self.dns_server_ip)
+
+    def with_overrides(self, **kwargs) -> "HoneyfarmConfig":
+        """A copy with the given fields replaced (sweep helper)."""
+        return replace(self, **kwargs)

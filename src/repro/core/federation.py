@@ -1,0 +1,154 @@
+"""Gateway scale-out: federating several honeyfarms over one clock.
+
+The gateway is the architecture's central chokepoint — every packet of
+every tunnel crosses it. The paper's scaling answer is horizontal:
+partition the dark address space across several gateways, each running
+its own farm, with nothing shared but the upstream routers' divert
+rules. :class:`FederatedHoneyfarm` builds exactly that: N member farms
+with disjoint prefixes on one simulated clock, a dispatch step that
+routes each inbound packet to the owning member (what the routers'
+tunnel configuration does in deployment), and aggregate reporting.
+
+Members stay fully independent — separate gateways, flow tables,
+containment state, clusters — so a member's failure or overload never
+touches the others' traffic, which is the operational point of the
+partitioning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import HoneyfarmConfig
+from repro.core.delta import MemoryBreakdown, farm_memory_breakdown
+from repro.core.honeyfarm import Honeyfarm
+from repro.net.addr import IPAddress, Prefix
+from repro.net.packet import Packet
+from repro.services.guest import InfectionRecord, ScanBehavior
+from repro.services.personality import PersonalityRegistry
+from repro.sim.engine import Simulator
+
+__all__ = ["FederatedHoneyfarm"]
+
+
+class FederatedHoneyfarm:
+    """N independent farms, disjoint address shards, one clock.
+
+    Parameters
+    ----------
+    shard_configs:
+        One :class:`HoneyfarmConfig` per member; their prefixes must be
+        mutually disjoint (each member is sovereign over its shard).
+    """
+
+    def __init__(
+        self,
+        shard_configs: Sequence[HoneyfarmConfig],
+        personalities: Optional[PersonalityRegistry] = None,
+    ) -> None:
+        if not shard_configs:
+            raise ValueError("a federation needs at least one member farm")
+        self.sim = Simulator()
+        self.members: List[Honeyfarm] = []
+        claimed: List[Prefix] = []
+        for config in shard_configs:
+            for prefix in config.parsed_prefixes():
+                for existing in claimed:
+                    if existing.overlaps(prefix):
+                        raise ValueError(
+                            f"shard prefix {prefix} overlaps {existing};"
+                            " members must own disjoint address space"
+                        )
+                claimed.append(prefix)
+            self.members.append(
+                Honeyfarm(config, personalities=personalities, sim=self.sim)
+            )
+        self.unrouteable_packets = 0
+
+    # ------------------------------------------------------------------ #
+    # Routing and driving
+    # ------------------------------------------------------------------ #
+
+    def member_for(self, addr: IPAddress) -> Optional[Honeyfarm]:
+        """The member whose shard covers ``addr`` (None = not dark space)."""
+        for member in self.members:
+            if member.inventory.covers(addr):
+                return member
+        return None
+
+    def inject(self, packet: Packet) -> None:
+        """Route one packet to the owning member's gateway."""
+        member = self.member_for(packet.dst)
+        if member is None:
+            self.unrouteable_packets += 1
+            return
+        member.inject(packet)
+
+    def register_worm(self, behavior: ScanBehavior) -> None:
+        """Register the worm's behaviour with every member."""
+        for member in self.members:
+            member.register_worm(behavior)
+
+    def run(self, until: float) -> None:
+        """Run all members (they share the clock) to ``until``."""
+        for member in self.members:
+            member._ensure_sweeper()
+        self.sim.run(until=until)
+
+    # ------------------------------------------------------------------ #
+    # Aggregate reporting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_addresses(self) -> int:
+        return sum(m.inventory.total_addresses for m in self.members)
+
+    @property
+    def live_vms(self) -> int:
+        return sum(m.live_vms for m in self.members)
+
+    def infection_count(self) -> int:
+        return sum(m.infection_count() for m in self.members)
+
+    def infections(self) -> List[InfectionRecord]:
+        records: List[InfectionRecord] = []
+        for member in self.members:
+            records.extend(member.infections)
+        records.sort(key=lambda r: r.time)
+        return records
+
+    def memory_breakdown(self) -> MemoryBreakdown:
+        merged = MemoryBreakdown(
+            capacity=0, image_resident=0, private_resident=0,
+            live_vms=0, full_copy_equivalent=0,
+        )
+        for member in self.members:
+            merged = merged.merged_with(member.memory_breakdown())
+        return merged
+
+    def aggregate_counters(self) -> Dict[str, int]:
+        """Sum of every member's counters, by name."""
+        totals: Dict[str, int] = {}
+        for member in self.members:
+            for name, value in member.metrics.counters().items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+    def per_member_rows(self) -> List[Tuple[str, int, int, int]]:
+        """(shard, live VMs, spawned, infections) rows for reports."""
+        rows = []
+        for index, member in enumerate(self.members):
+            counters = member.metrics.counters()
+            rows.append((
+                ", ".join(member.config.prefixes),
+                member.live_vms,
+                counters.get("farm.vms_spawned", 0),
+                member.infection_count(),
+            ))
+        return rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<FederatedHoneyfarm members={len(self.members)}"
+            f" addresses={self.total_addresses} t={self.sim.now:.1f}s>"
+        )

@@ -1,0 +1,321 @@
+"""The gateway router: the honeyfarm's single point of policy.
+
+Every packet entering or leaving the farm crosses the gateway, which is
+what makes the paper's architecture work: physical servers hold only
+mechanisms (VMs), while the gateway holds all four roles:
+
+1. **Tunnel termination** — decapsulate GRE traffic from border routers,
+   re-encapsulate honeypot replies so they exit through the network that
+   owns the impersonated address.
+2. **Dispatch** — map each destination address to a live VM; if none
+   exists, ask the backend to flash-clone one and queue packets for the
+   address until the clone is running (cloning takes ~0.5 s, and the
+   first packet must not be lost — it is usually the exploit).
+3. **Containment** — classify each honeypot-emitted packet as a *reply*
+   on an externally-initiated flow (always allowed: answering scanners is
+   the farm's purpose) or *honeypot-initiated* (subject to the configured
+   :class:`~repro.core.containment.ContainmentPolicy`), and carry out the
+   verdict, including reflection NAT bookkeeping.
+4. **Resource directives** — notify interested parties as VMs come and
+   go, and keep the flow table consistent with reclamation.
+
+The backend (normally :class:`~repro.core.honeyfarm.Honeyfarm`) provides
+``spawn_vm(ip)`` and ``deliver(vm, packet)``; the gateway provides
+``vm_ready(vm)`` / ``vm_retired(vm)`` in return.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Protocol
+
+from repro.core.containment import (
+    ContainmentAction,
+    ContainmentPolicy,
+    OutboundRateLimiter,
+    ReflectionNat,
+)
+from repro.net.addr import AddressSpaceInventory, IPAddress, Prefix
+from repro.net.flow import FlowTable
+from repro.net.gre import GrePacket, GreTunnel, decapsulate, encapsulate
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.services.dns import DnsServer
+from repro.sim.engine import Simulator
+from repro.sim.metrics import MetricRegistry
+from repro.vmm.vm import VirtualMachine, VMState
+
+__all__ = ["Gateway", "HoneyfarmBackend"]
+
+
+class HoneyfarmBackend(Protocol):
+    """What the gateway needs from the orchestrator behind it."""
+
+    def spawn_vm(self, ip: IPAddress) -> Optional[VirtualMachine]:
+        """Begin flash-cloning a VM for ``ip``; returns the VM (in
+        CLONING state) or None if the farm is out of capacity."""
+
+    def deliver(self, vm: VirtualMachine, packet: Packet) -> None:
+        """Hand an inbound packet to a running VM's guest."""
+
+
+class Gateway:
+    """See module docstring."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        inventory: AddressSpaceInventory,
+        policy: ContainmentPolicy,
+        backend: HoneyfarmBackend,
+        flow_idle_timeout: float = 60.0,
+        dns_server: Optional[DnsServer] = None,
+        metrics: Optional[MetricRegistry] = None,
+        external_sink: Optional[Callable[[Packet], None]] = None,
+        max_pending_per_ip: int = 256,
+        packet_tap: Optional[Callable[[Packet], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.inventory = inventory
+        self.policy = policy
+        self.backend = backend
+        self.flows = FlowTable(idle_timeout=flow_idle_timeout)
+        self.dns_server = dns_server
+        self.metrics = metrics or MetricRegistry()
+        self.external_sink = external_sink
+        self.max_pending_per_ip = max_pending_per_ip
+        self.packet_tap = packet_tap
+        self.nat = ReflectionNat()
+        self.vm_map: Dict[IPAddress, VirtualMachine] = {}
+        self._pending: Dict[IPAddress, List[Packet]] = {}
+        self._tunnels: Dict[int, GreTunnel] = {}
+        self._tunnel_links: Dict[int, Link] = {}
+        self._tunnel_by_prefix: Dict[Prefix, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Tunnel configuration
+    # ------------------------------------------------------------------ #
+
+    def register_tunnel(
+        self,
+        tunnel: GreTunnel,
+        prefixes: List[Prefix],
+        return_link: Optional[Link] = None,
+    ) -> None:
+        """Associate a tunnel with the prefixes whose replies return
+        through it; ``return_link`` carries encapsulated replies back to
+        the border router (optional in pure-simulation setups)."""
+        if tunnel.key in self._tunnels:
+            raise ValueError(f"tunnel key {tunnel.key} already registered")
+        self._tunnels[tunnel.key] = tunnel
+        if return_link is not None:
+            self._tunnel_links[tunnel.key] = return_link
+        for prefix in prefixes:
+            if self.inventory.lookup(prefix.network) is None:
+                raise ValueError(f"tunnel prefix {prefix} is not in the farm inventory")
+            self._tunnel_by_prefix[prefix] = tunnel.key
+
+    def _tunnel_key_for(self, addr: IPAddress) -> Optional[int]:
+        for prefix, key in self._tunnel_by_prefix.items():
+            if prefix.contains(addr):
+                return key
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Inbound path (Internet -> farm, and reflected internal traffic)
+    # ------------------------------------------------------------------ #
+
+    def receive_tunnel(self, gre: GrePacket) -> None:
+        """Entry point for GRE traffic from border routers."""
+        self.metrics.counter("gateway.tunnel_in").increment()
+        self.process_inbound(decapsulate(gre))
+
+    def process_inbound(self, packet: Packet) -> None:
+        """Dispatch one packet addressed into the farm's dark space."""
+        self.metrics.counter("gateway.packets_in").increment()
+        if self.packet_tap is not None:
+            self.packet_tap(packet)
+        if packet.ttl <= 0:
+            self.metrics.counter("gateway.ttl_expired").increment()
+            return
+        if not self.inventory.covers(packet.dst):
+            self.metrics.counter("gateway.stray").increment()
+            return
+        record, __ = self.flows.observe(packet, self.sim.now)
+
+        vm = self.vm_map.get(packet.dst)
+        if vm is None:
+            vm = self.backend.spawn_vm(packet.dst)
+            if vm is None:
+                self.metrics.counter("gateway.no_capacity_drop").increment()
+                return
+            self.metrics.counter("gateway.clones_requested").increment()
+            self.vm_map[packet.dst] = vm
+            if vm.state is not VMState.RUNNING:
+                # Normal case: the clone pipeline is in flight; hold the
+                # packet until vm_ready flushes it.
+                self._pending[packet.dst] = [packet]
+                self.metrics.counter("gateway.queued_during_clone").increment()
+                return
+        if vm.state is VMState.CLONING:
+            queue = self._pending.setdefault(packet.dst, [])
+            if len(queue) >= self.max_pending_per_ip:
+                self.metrics.counter("gateway.pending_overflow").increment()
+                return
+            queue.append(packet)
+            self.metrics.counter("gateway.queued_during_clone").increment()
+            return
+        if vm.state is not VMState.RUNNING:
+            # Momentary window between reclamation and map cleanup.
+            self.metrics.counter("gateway.dropped_vm_not_running").increment()
+            return
+        record.vm_id = vm.vm_id
+        self.metrics.counter("gateway.delivered").increment()
+        self.backend.deliver(vm, packet)
+
+    # ------------------------------------------------------------------ #
+    # VM lifecycle notifications from the backend
+    # ------------------------------------------------------------------ #
+
+    def vm_ready(self, vm: VirtualMachine) -> None:
+        """Flush packets queued while ``vm`` was cloning."""
+        queued = self._pending.pop(vm.ip, [])
+        for packet in queued:
+            if vm.state is not VMState.RUNNING:
+                break
+            record, __ = self.flows.observe(packet, self.sim.now)
+            record.vm_id = vm.vm_id
+            self.metrics.counter("gateway.delivered").increment()
+            self.backend.deliver(vm, packet)
+
+    def vm_retired(self, vm: VirtualMachine) -> None:
+        """Drop all state bound to a reclaimed/detained VM."""
+        current = self.vm_map.get(vm.ip)
+        if current is not None and current.vm_id == vm.vm_id:
+            del self.vm_map[vm.ip]
+        self._pending.pop(vm.ip, None)
+        self.flows.drop_vm(vm.vm_id)
+        self.nat.forget_vm(vm.ip)
+
+    # ------------------------------------------------------------------ #
+    # Outbound path (honeypot -> anywhere)
+    # ------------------------------------------------------------------ #
+
+    def emit_from_vm(self, vm: VirtualMachine, packet: Packet) -> None:
+        """Handle one packet emitted by a honeypot VM."""
+        self.metrics.counter("gateway.vm_packets_out").increment()
+
+        # Internal resolver traffic is farm infrastructure, not egress.
+        if self.dns_server is not None and packet.dst == self.dns_server.address:
+            self._deliver_dns(vm, packet, original_resolver=None)
+            return
+
+        record, created = self.flows.observe(packet, self.sim.now)
+        if not created and record.initiator != vm.ip:
+            self._emit_reply(vm, packet)
+            return
+
+        # Honeypot-initiated traffic: the containment policy decides.
+        verdict = self.policy.decide(vm, packet, self.sim.now)
+        if verdict.action is ContainmentAction.ALLOW:
+            self.metrics.counter("gateway.outbound.allowed").increment()
+            if self.inventory.covers(packet.dst):
+                self.process_inbound(packet.decremented_ttl())
+            else:
+                self.metrics.counter("gateway.initiated_external_out").increment()
+                self._send_external(packet)
+        elif verdict.action is ContainmentAction.DROP:
+            self.metrics.counter("gateway.outbound.dropped").increment()
+        elif verdict.action is ContainmentAction.REDIRECT_DNS:
+            self.metrics.counter("gateway.outbound.dns_redirected").increment()
+            self._deliver_dns(vm, packet, original_resolver=packet.dst)
+        elif verdict.action is ContainmentAction.REFLECT:
+            assert verdict.new_destination is not None
+            self.metrics.counter("gateway.outbound.reflected").increment()
+            self.nat.record(vm.ip, verdict.new_destination, packet.dst)
+            reflected = packet.with_destination(verdict.new_destination)
+            self.process_inbound(reflected.decremented_ttl())
+        else:  # pragma: no cover - exhaustive over the enum
+            raise AssertionError(f"unhandled containment action: {verdict.action!r}")
+
+    def _emit_reply(self, vm: VirtualMachine, packet: Packet) -> None:
+        """Reply on an externally- or peer-initiated flow: always allowed,
+        routed externally or internally by destination."""
+        self.metrics.counter("gateway.outbound.reply_allowed").increment()
+        if self.inventory.covers(packet.dst):
+            translated = self.nat.translate_reply_source(packet)
+            self.process_inbound(translated.decremented_ttl())
+        else:
+            self.metrics.counter("gateway.reply_external_out").increment()
+            self._send_external(packet)
+
+    def _send_external(self, packet: Packet) -> None:
+        """Ship a permitted packet to the Internet through the tunnel that
+        owns its (impersonated) source address."""
+        self.metrics.counter("gateway.external_out").increment()
+        key = self._tunnel_key_for(packet.src)
+        link = self._tunnel_links.get(key) if key is not None else None
+        if key is not None and link is not None:
+            gre = encapsulate(self._tunnels[key], packet)
+            link.deliver(gre, gre.size)
+        elif self.external_sink is not None:
+            self.external_sink(packet)
+
+    def _deliver_dns(
+        self,
+        vm: VirtualMachine,
+        packet: Packet,
+        original_resolver: Optional[IPAddress],
+    ) -> None:
+        """Complete a DNS transaction against the internal resolver.
+
+        When the query targeted an external resolver and was redirected,
+        the response's source is rewritten back to that resolver so the
+        guest cannot tell the difference.
+        """
+        if self.dns_server is None:
+            self.metrics.counter("gateway.outbound.dropped").increment()
+            return
+        query = (
+            packet
+            if original_resolver is None
+            else packet.with_destination(self.dns_server.address)
+        )
+        response = self.dns_server.handle_query(query)
+        if response is None:
+            self.metrics.counter("gateway.dns_malformed").increment()
+            return
+        if original_resolver is not None:
+            response = Packet(
+                src=original_resolver,
+                dst=response.dst,
+                protocol=response.protocol,
+                src_port=response.src_port,
+                dst_port=response.dst_port,
+                payload=response.payload,
+                size=response.size,
+            )
+        self.metrics.counter("gateway.dns_answered").increment()
+        # Small, fixed resolver turnaround before the answer reaches the VM.
+        self.sim.schedule(0.001, self._deliver_dns_response, vm, response)
+
+    def _deliver_dns_response(self, vm: VirtualMachine, response: Packet) -> None:
+        if vm.state is VMState.RUNNING:
+            self.backend.deliver(vm, response)
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+
+    def sweep_flows(self) -> int:
+        """Expire idle flows; returns how many were dropped."""
+        return len(self.flows.expire_idle(self.sim.now))
+
+    @property
+    def live_vm_count(self) -> int:
+        return len(self.vm_map)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Gateway vms={len(self.vm_map)} flows={len(self.flows)}"
+            f" policy={self.policy.name}>"
+        )

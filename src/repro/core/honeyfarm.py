@@ -1,0 +1,453 @@
+"""The honeyfarm orchestrator: gateway + servers + guests + policies.
+
+:class:`Honeyfarm` assembles a runnable farm from a
+:class:`~repro.core.config.HoneyfarmConfig`:
+
+* builds the physical hosts and installs one reference snapshot per
+  personality on each;
+* builds the gateway with the configured containment policy and the
+  internal DNS resolver;
+* implements the gateway's backend protocol — flash-cloning VMs on
+  demand (with spill-over across hosts and emergency reclamation under
+  pressure) and delivering packets to guests;
+* runs the reclamation daemon;
+* collects every infection record and the time series the experiments
+  plot (live VMs, clone demand, memory residency).
+
+The public surface a workload needs is tiny: :meth:`inject` a packet (or
+wire border routers to the gateway), :meth:`register_worm` so guests know
+how captured worms propagate, and :meth:`run`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import HoneyfarmConfig
+from repro.core.containment import make_policy
+from repro.core.delta import MemoryBreakdown, farm_memory_breakdown
+from repro.core.flash_clone import CloneResult, FlashCloneEngine
+from repro.core.gateway import Gateway
+from repro.core.placement import make_placement
+from repro.core.reclamation import (
+    CompositeReclamation,
+    IdleTimeoutPolicy,
+    MemoryPressurePolicy,
+    ReclamationPlan,
+)
+from repro.net.addr import AddressSpaceInventory, IPAddress
+from repro.net.packet import Packet
+from repro.services.dns import DnsServer
+from repro.services.guest import GuestHost, InfectionRecord, ScanBehavior
+from repro.services.personality import PersonalityRegistry, default_registry
+from repro.sim.engine import Simulator
+from repro.sim.metrics import MetricRegistry
+from repro.sim.rand import SeedSequence
+from repro.vmm.host import HostCapacityError, PhysicalHost
+from repro.vmm.latency import CloneCostModel
+from repro.vmm.memory import OutOfMemoryError
+from repro.vmm.snapshot import ReferenceSnapshot
+from repro.vmm.vm import VirtualMachine, VMState
+
+__all__ = ["Honeyfarm"]
+
+
+class Honeyfarm:
+    """A complete, runnable honeyfarm. See module docstring."""
+
+    def __init__(
+        self,
+        config: Optional[HoneyfarmConfig] = None,
+        personalities: Optional[PersonalityRegistry] = None,
+        sim: Optional[Simulator] = None,
+    ) -> None:
+        self.config = config or HoneyfarmConfig()
+        self.personalities = personalities or default_registry()
+        self.sim = sim or Simulator()
+        self.seeds = SeedSequence(self.config.seed)
+        self.metrics = MetricRegistry()
+        self.infections: List[InfectionRecord] = []
+        self.infection_listeners: List[Callable[[InfectionRecord], None]] = []
+        self.detained: List[VirtualMachine] = []
+        self.worm_behaviors: Dict[str, ScanBehavior] = {}
+
+        self.inventory = AddressSpaceInventory(self.config.parsed_prefixes())
+        self.dns_server = DnsServer(self.config.dns_address())
+
+        self._cost_model = CloneCostModel(
+            jitter=self.config.clone_jitter,
+            rng=self.seeds.stream("clone-jitter") if self.config.clone_jitter > 0 else None,
+        )
+        self.clone_engine = FlashCloneEngine(
+            self.sim,
+            self._cost_model,
+            metrics=self.metrics,
+            mode=self.config.clone_mode,
+        )
+
+        self.hosts: List[PhysicalHost] = []
+        needed = self._needed_personalities()
+        for i in range(self.config.num_hosts):
+            host = PhysicalHost(
+                memory_bytes=self.config.host_memory_bytes,
+                max_vms=self.config.max_vms_per_host,
+                name=f"host-{i}",
+            )
+            for personality in needed:
+                host.install_snapshot(
+                    ReferenceSnapshot(
+                        host.memory,
+                        personality=personality,
+                        image_bytes=self.config.vm_image_bytes,
+                        name=f"{host.name}-{personality}",
+                    )
+                )
+            self.hosts.append(host)
+
+        policy = make_policy(
+            self.config.containment, self.inventory, self.config.outbound_rate_limit
+        )
+        self.gateway = Gateway(
+            sim=self.sim,
+            inventory=self.inventory,
+            policy=policy,
+            backend=self,
+            flow_idle_timeout=self.config.flow_idle_timeout_seconds,
+            dns_server=self.dns_server,
+            metrics=self.metrics,
+        )
+
+        idle_policy = IdleTimeoutPolicy(
+            self.config.idle_timeout_seconds,
+            detain_infected=self.config.detain_infected,
+            max_detained=self.config.max_detained,
+        )
+        policies = [idle_policy]
+        if self.config.memory_pressure_threshold is not None:
+            policies.append(
+                MemoryPressurePolicy(
+                    self.config.memory_pressure_threshold,
+                    detain_infected=self.config.detain_infected,
+                    max_detained=self.config.max_detained,
+                )
+            )
+        self.reclamation = CompositeReclamation(policies)
+        self.placement = make_placement(self.config.placement_policy)
+        self._guest_seeds = self.seeds.spawn("guests")
+        self._guest_counter = 0
+        self._sweep_started = False
+        # Warm pool: pristine pre-created VMs parked on reserved addresses
+        # (0.0.1.0 upward — never routable, never in the inventory),
+        # waiting to be bound to a real address.
+        self._pool: List[VirtualMachine] = []
+        self._pool_parking_counter = 0
+        self._pool_started = False
+        self._live_gauge = self.metrics.gauge("farm.live_vms", time=self.sim.now)
+
+    def _needed_personalities(self) -> List[str]:
+        names = self.config.all_personalities()
+        for name in names:
+            if name not in self.personalities:
+                raise ValueError(f"config references unknown personality {name!r}")
+        return sorted(names)
+
+    # ------------------------------------------------------------------ #
+    # Workload-facing API
+    # ------------------------------------------------------------------ #
+
+    def inject(self, packet: Packet) -> None:
+        """Feed one packet into the gateway, as if it arrived by tunnel."""
+        self.gateway.process_inbound(packet)
+
+    def register_worm(self, behavior: ScanBehavior) -> None:
+        """Teach guests how a worm propagates once it compromises them."""
+        self.worm_behaviors[behavior.exploit_tag] = behavior
+
+    def attach_packet_tap(self, tap: Callable[[Packet], None]) -> None:
+        """Mirror every inbound packet to ``tap`` (e.g. a
+        :class:`~repro.detection.sifting.ContentSifter`)."""
+        self.gateway.packet_tap = tap
+
+    def add_infection_listener(self, listener: Callable[[InfectionRecord], None]) -> None:
+        """Call ``listener`` on every confirmed infection (e.g. an
+        :class:`~repro.detection.monitor.InfectionRateMonitor`)."""
+        self.infection_listeners.append(listener)
+
+    def run(self, until: float) -> None:
+        """Run the farm (starting the reclamation daemon) to time ``until``."""
+        self._ensure_sweeper()
+        self.sim.run(until=until)
+
+    def _ensure_sweeper(self) -> None:
+        if not self._sweep_started:
+            self._sweep_started = True
+            self.sim.schedule(self.config.sweep_interval_seconds, self._sweep)
+        if self.config.warm_pool_size > 0 and not self._pool_started:
+            self._pool_started = True
+            self.sim.call_now(self._refill_pool)
+
+    # ------------------------------------------------------------------ #
+    # Warm pool
+    # ------------------------------------------------------------------ #
+
+    @property
+    def pool_size(self) -> int:
+        return len(self._pool)
+
+    def _parking_ip(self) -> IPAddress:
+        self._pool_parking_counter += 1
+        return IPAddress(0x00000100 + self._pool_parking_counter)
+
+    def _refill_pool(self) -> None:
+        """Background daemon: keep the pool at its target size."""
+        deficit = self.config.warm_pool_size - len(self._pool)
+        while deficit > 0:
+            host = self._pick_host(self.config.default_personality)
+            if host is None:
+                break
+            snapshot = host.snapshot_for(self.config.default_personality)
+            try:
+                vm = self.clone_engine.clone(
+                    host, snapshot, self._parking_ip(), on_ready=self._pool_vm_ready
+                )
+            except (HostCapacityError, OutOfMemoryError):
+                break
+            vm.parked = True
+            self._pool.append(vm)
+            self.metrics.counter("farm.pool_clones").increment()
+            deficit -= 1
+        self.sim.schedule(self.config.warm_pool_refill_interval, self._refill_pool)
+
+    def _pool_vm_ready(self, result: CloneResult) -> None:
+        """A pool VM finished its (full) clone pipeline: give it a guest
+        so it is ready the instant an address is bound to it."""
+        self._clone_ready(result)
+
+    def _take_from_pool(self, ip: IPAddress, personality: str) -> Optional[VirtualMachine]:
+        """Bind a ready pool VM to ``ip``; returns None when the pool has
+        no running VM of the right personality."""
+        for index, vm in enumerate(self._pool):
+            if vm.state is VMState.RUNNING and vm.personality == personality:
+                self._pool.pop(index)
+                vm.parked = False
+                vm.begin_reassignment(ip, self.sim.now)
+                stages = self._cost_model.reassign_stages()
+                total = sum(s.seconds for s in stages)
+                self.metrics.counter("farm.pool_hits").increment()
+                self.metrics.histogram("clone.pool_assign_seconds").observe(total)
+                self.sim.schedule(total, self._pool_assignment_done, vm, self.sim.now)
+                return vm
+        return None
+
+    def _pool_assignment_done(self, vm: VirtualMachine, requested_at: float) -> None:
+        if not vm.is_live:
+            self.metrics.counter("clone.aborted").increment()
+            return
+        vm.start(self.sim.now)
+        self.metrics.histogram("farm.address_ready_seconds").observe(
+            self.sim.now - requested_at
+        )
+        self.gateway.vm_ready(vm)
+
+    # ------------------------------------------------------------------ #
+    # Backend protocol (called by the gateway)
+    # ------------------------------------------------------------------ #
+
+    def spawn_vm(self, ip: IPAddress) -> Optional[VirtualMachine]:
+        prefix = self.inventory.lookup(ip)
+        if prefix is None:
+            return None
+        personality = self.config.personality_for_address(prefix, ip)
+        if self.config.warm_pool_size > 0:
+            pooled = self._take_from_pool(ip, personality)
+            if pooled is not None:
+                self._live_gauge.adjust(1, self.sim.now)
+                self.metrics.series("farm.live_vms_series").record(
+                    self.sim.now, self._live_gauge.value
+                )
+                self.metrics.counter("farm.vms_spawned").increment()
+                return pooled
+            self.metrics.counter("farm.pool_misses").increment()
+        host = self._pick_host(personality)
+        if host is None:
+            # Try once more after forcing reclamation across the cluster.
+            if self._emergency_reclaim():
+                host = self._pick_host(personality)
+        if host is None:
+            return None
+        snapshot = host.snapshot_for(personality)
+        try:
+            vm = self.clone_engine.clone(host, snapshot, ip, on_ready=self._clone_ready)
+        except (HostCapacityError, OutOfMemoryError):
+            return None
+        self._live_gauge.adjust(1, self.sim.now)
+        self.metrics.series("farm.live_vms_series").record(
+            self.sim.now, self._live_gauge.value
+        )
+        self.metrics.counter("farm.vms_spawned").increment()
+        return vm
+
+    def deliver(self, vm: VirtualMachine, packet: Packet) -> None:
+        guest: Optional[GuestHost] = vm.guest
+        if guest is None or vm.state is not VMState.RUNNING:
+            self.metrics.counter("farm.deliver_to_dead_vm").increment()
+            return
+        self._propagate_generation(guest, packet)
+        replies = guest.handle_packet(packet, self.sim.now)
+        for reply in replies:
+            self.gateway.emit_from_vm(vm, reply)
+
+    def _propagate_generation(self, guest: GuestHost, packet: Packet) -> None:
+        """If the packet comes from another (infected) farm VM, stamp the
+        receiving guest with the next epidemic generation, so infection
+        records chain multi-stage spread."""
+        source_vm = self.gateway.vm_map.get(packet.src)
+        if source_vm is None or source_vm.guest is None:
+            return
+        source_guest: GuestHost = source_vm.guest
+        if source_guest.infection is not None:
+            guest.generation = source_guest.infection.generation + 1
+
+    # ------------------------------------------------------------------ #
+    # Clone completion
+    # ------------------------------------------------------------------ #
+
+    def _clone_ready(self, result: CloneResult) -> None:
+        vm = result.vm
+        if not vm.parked:
+            # Address-serving clones (not pool refills) count toward the
+            # farm's first-packet-to-ready latency.
+            self.metrics.histogram("farm.address_ready_seconds").observe(
+                result.total_seconds
+            )
+        host = self._host_by_id(vm.host_id)
+        personality = self.personalities.get(vm.personality)
+        # Seed by farm-local creation index, not the process-global VM id:
+        # two identically-seeded farms in one process must behave alike.
+        self._guest_counter += 1
+        GuestHost(
+            vm=vm,
+            personality=personality,
+            catalog=self.personalities.catalog,
+            sim=self.sim,
+            rng=self._guest_seeds.stream(f"guest-{self._guest_counter}"),
+            transmit=self.gateway.emit_from_vm,
+            worm_behaviors=self.worm_behaviors,
+            on_oom=(lambda h=host, v=vm: self._relieve_pressure(h, exclude_vm_id=v.vm_id)),
+            on_infection=self._record_infection,
+        )
+        self.gateway.vm_ready(vm)
+
+    def _record_infection(self, record: InfectionRecord) -> None:
+        self.infections.append(record)
+        self.metrics.counter("farm.infections").increment()
+        self.metrics.series("farm.infections_series").record(
+            self.sim.now, len(self.infections)
+        )
+        for listener in self.infection_listeners:
+            listener(record)
+
+    # ------------------------------------------------------------------ #
+    # Placement and reclamation
+    # ------------------------------------------------------------------ #
+
+    def _host_by_id(self, host_id: Optional[int]) -> PhysicalHost:
+        for host in self.hosts:
+            if host.host_id == host_id:
+                return host
+        raise KeyError(f"no host with id {host_id}")
+
+    def _pick_host(self, personality: str) -> Optional[PhysicalHost]:
+        """Delegate to the configured placement policy."""
+        return self.placement.select(self.hosts, personality)
+
+    def _emergency_reclaim(self) -> bool:
+        """Forced reclamation when admission fails: evict, cluster-wide,
+        any VM idle for at least one sweep interval."""
+        reclaimed = 0
+        for host in self.hosts:
+            for vm in host.idle_vms(self.sim.now, self.config.sweep_interval_seconds):
+                self._retire(host, vm)
+                reclaimed += 1
+        self.metrics.counter("farm.emergency_reclaims").increment(reclaimed)
+        return reclaimed > 0
+
+    def _relieve_pressure(self, host: PhysicalHost, exclude_vm_id: int) -> bool:
+        """OOM handler for guest page writes: evict the least-recently-
+        active other VM on the same host. Returns True if memory freed."""
+        candidates = sorted(
+            (
+                vm
+                for vm in host.vms()
+                if vm.state is VMState.RUNNING
+                and not vm.parked
+                and vm.vm_id != exclude_vm_id
+            ),
+            key=lambda vm: vm.last_activity,
+        )
+        for vm in candidates:
+            if vm.private_pages > 0:
+                self._retire(host, vm)
+                self.metrics.counter("farm.pressure_evictions").increment()
+                return True
+        return False
+
+    def _retire(self, host: PhysicalHost, vm: VirtualMachine) -> None:
+        guest: Optional[GuestHost] = vm.guest
+        if guest is not None:
+            guest.stop()
+        self.gateway.vm_retired(vm)
+        host.evict(vm, self.sim.now)
+        self.metrics.counter("farm.vms_reclaimed").increment()
+        self._live_gauge.adjust(-1, self.sim.now)
+        self.metrics.series("farm.live_vms_series").record(
+            self.sim.now, self._live_gauge.value
+        )
+
+    def _detain(self, host: PhysicalHost, vm: VirtualMachine) -> None:
+        guest: Optional[GuestHost] = vm.guest
+        if guest is not None:
+            guest.stop()
+        vm.pause(self.sim.now)
+        vm.detained = True
+        self.gateway.vm_retired(vm)
+        self.detained.append(vm)
+        self.metrics.counter("farm.vms_detained").increment()
+        # Detained VMs stay resident (their memory is the evidence), but
+        # no longer serve an address, so the live gauge drops.
+        self._live_gauge.adjust(-1, self.sim.now)
+
+    def _sweep(self) -> None:
+        for host in self.hosts:
+            plan: ReclamationPlan = self.reclamation.plan(host, self.sim.now)
+            for vm in plan.destroy:
+                self._retire(host, vm)
+                self.metrics.counter("farm.sweep_reclaims").increment()
+            for vm in plan.detain:
+                self._detain(host, vm)
+        self.gateway.sweep_flows()
+        breakdown = farm_memory_breakdown(self.hosts)
+        self.metrics.series("farm.private_bytes_series").record(
+            self.sim.now, breakdown.private_resident
+        )
+        self.sim.schedule(self.config.sweep_interval_seconds, self._sweep)
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def live_vms(self) -> int:
+        return sum(host.live_vms for host in self.hosts)
+
+    def memory_breakdown(self) -> MemoryBreakdown:
+        return farm_memory_breakdown(self.hosts)
+
+    def infection_count(self) -> int:
+        return len(self.infections)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Honeyfarm hosts={len(self.hosts)} live_vms={self.live_vms}"
+            f" policy={self.config.containment!r} t={self.sim.now:.1f}s>"
+        )

@@ -1,0 +1,111 @@
+"""VM placement: which server receives the next clone?
+
+The gateway's resource-management role includes steering clones across
+the cluster. Three policies, which the A-PLACE ablation compares:
+
+* :class:`LeastLoadedPlacement` — lowest memory utilisation first.
+  Balances load, maximising the burst headroom on every host (the
+  default, and what the paper's gateway effectively does by tracking
+  per-server load).
+* :class:`RoundRobinPlacement` — rotate over eligible hosts. Cheap and
+  stateless-ish; balances counts rather than bytes.
+* :class:`PackingPlacement` — fill the first eligible host before
+  touching the next. Concentrates VMs (attractive for powering down
+  idle servers) at the price of hitting per-host limits sooner.
+
+A policy sees only hosts that carry the required personality's snapshot
+and have both a VM slot and at least one free frame.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.vmm.host import PhysicalHost
+
+__all__ = [
+    "PlacementPolicy",
+    "LeastLoadedPlacement",
+    "RoundRobinPlacement",
+    "PackingPlacement",
+    "make_placement",
+]
+
+
+def _eligible(hosts: Sequence[PhysicalHost], personality: str) -> List[PhysicalHost]:
+    return [
+        host
+        for host in hosts
+        if personality in host.snapshots
+        and host.has_vm_slot()
+        and host.memory.can_fit(1)
+    ]
+
+
+class PlacementPolicy:
+    """Interface: pick a host for the next clone (None = no capacity)."""
+
+    name = "abstract"
+
+    def select(
+        self, hosts: Sequence[PhysicalHost], personality: str
+    ) -> Optional[PhysicalHost]:
+        raise NotImplementedError
+
+
+class LeastLoadedPlacement(PlacementPolicy):
+    """Lowest memory utilisation wins, then fewest live VMs.
+
+    The VM-count tiebreak matters: clones charge no memory until their
+    guests run, so during a burst memory utilisation alone cannot see
+    the in-flight clones already steered at a host.
+    """
+
+    name = "least-loaded"
+
+    def select(self, hosts, personality):
+        eligible = _eligible(hosts, personality)
+        if not eligible:
+            return None
+        return min(
+            eligible,
+            key=lambda h: (h.memory_utilization, h.live_vms, h.host_id),
+        )
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Rotate across eligible hosts in order."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(self, hosts, personality):
+        eligible = _eligible(hosts, personality)
+        if not eligible:
+            return None
+        choice = eligible[self._next % len(eligible)]
+        self._next += 1
+        return choice
+
+
+class PackingPlacement(PlacementPolicy):
+    """First eligible host in order: fill, then spill."""
+
+    name = "pack"
+
+    def select(self, hosts, personality):
+        eligible = _eligible(hosts, personality)
+        return eligible[0] if eligible else None
+
+
+def make_placement(name: str) -> PlacementPolicy:
+    """Config-string → policy object."""
+    if name == "least-loaded":
+        return LeastLoadedPlacement()
+    if name == "round-robin":
+        return RoundRobinPlacement()
+    if name == "pack":
+        return PackingPlacement()
+    raise ValueError(f"unknown placement policy: {name!r}")

@@ -1,0 +1,177 @@
+"""Reclamation: taking honeypot VMs back to serve the next arrival.
+
+Scalability depends on *recycling*: the farm only needs as many live VMs
+as there are simultaneously-active addresses, and "active" is defined by
+policy. Two policies from the paper, composable:
+
+* :class:`IdleTimeoutPolicy` — reclaim a VM once it has been silent for a
+  configurable period. The timeout is the farm's central knob: long
+  timeouts retain state for slow-returning scanners at the price of
+  thousands of resident VMs (experiment F-CONC sweeps exactly this).
+* :class:`MemoryPressurePolicy` — when a host's memory passes a
+  threshold, evict least-recently-active VMs regardless of timeout,
+  so a burst can never wedge the host.
+
+Both honour **detention**: an infected VM is evidence, and the farm may
+prefer to pause it for forensics rather than destroy it (bounded by
+``max_detained``; beyond that infected VMs are recycled like the rest).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.vmm.host import PhysicalHost
+from repro.vmm.vm import VirtualMachine, VMState
+
+__all__ = ["ReclamationPolicy", "IdleTimeoutPolicy", "MemoryPressurePolicy", "ReclamationPlan"]
+
+
+class ReclamationPlan:
+    """What a policy decided for one sweep of one host."""
+
+    def __init__(
+        self,
+        destroy: Optional[List[VirtualMachine]] = None,
+        detain: Optional[List[VirtualMachine]] = None,
+    ) -> None:
+        self.destroy = destroy or []
+        self.detain = detain or []
+
+    @property
+    def total(self) -> int:
+        return len(self.destroy) + len(self.detain)
+
+    def merge(self, other: "ReclamationPlan") -> "ReclamationPlan":
+        seen = {vm.vm_id for vm in self.destroy} | {vm.vm_id for vm in self.detain}
+        merged = ReclamationPlan(list(self.destroy), list(self.detain))
+        for vm in other.destroy:
+            if vm.vm_id not in seen:
+                merged.destroy.append(vm)
+                seen.add(vm.vm_id)
+        for vm in other.detain:
+            if vm.vm_id not in seen:
+                merged.detain.append(vm)
+                seen.add(vm.vm_id)
+        return merged
+
+
+class ReclamationPolicy:
+    """Interface: inspect a host, produce a :class:`ReclamationPlan`."""
+
+    def plan(self, host: PhysicalHost, now: float) -> ReclamationPlan:
+        raise NotImplementedError
+
+
+def _split_detainees(
+    victims: List[VirtualMachine],
+    detain_infected: bool,
+    detained_so_far: int,
+    max_detained: int,
+) -> ReclamationPlan:
+    """Partition victims into detain (infected, capacity permitting) and
+    destroy lists."""
+    plan = ReclamationPlan()
+    budget = max(0, max_detained - detained_so_far) if detain_infected else 0
+    for vm in victims:
+        guest = vm.guest
+        infected = guest is not None and getattr(guest, "infected", False)
+        if infected and budget > 0:
+            plan.detain.append(vm)
+            budget -= 1
+        else:
+            plan.destroy.append(vm)
+    return plan
+
+
+class IdleTimeoutPolicy(ReclamationPolicy):
+    """Reclaim running VMs idle for at least ``timeout`` seconds."""
+
+    def __init__(
+        self,
+        timeout: float,
+        detain_infected: bool = False,
+        max_detained: int = 32,
+    ) -> None:
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive: {timeout!r}")
+        self.timeout = timeout
+        self.detain_infected = detain_infected
+        self.max_detained = max_detained
+        self.detained_total = 0
+
+    def plan(self, host: PhysicalHost, now: float) -> ReclamationPlan:
+        victims = host.idle_vms(now, self.timeout)
+        plan = _split_detainees(
+            victims, self.detain_infected, self.detained_total, self.max_detained
+        )
+        self.detained_total += len(plan.detain)
+        return plan
+
+
+class MemoryPressurePolicy(ReclamationPolicy):
+    """Evict least-recently-active VMs when memory crosses a threshold.
+
+    Eviction continues (in LRU order) until projected utilisation falls
+    back below the threshold, counting each VM's private pages as the
+    memory recovered. Infected VMs are detained under the same rules as
+    the idle policy.
+    """
+
+    def __init__(
+        self,
+        threshold: float,
+        detain_infected: bool = False,
+        max_detained: int = 32,
+    ) -> None:
+        if not (0.0 < threshold <= 1.0):
+            raise ValueError(f"threshold must be in (0, 1]: {threshold!r}")
+        self.threshold = threshold
+        self.detain_infected = detain_infected
+        self.max_detained = max_detained
+        self.detained_total = 0
+        self.pressure_events = 0
+
+    def plan(self, host: PhysicalHost, now: float) -> ReclamationPlan:
+        memory = host.memory
+        limit = int(self.threshold * memory.capacity_frames)
+        if memory.allocated_frames <= limit:
+            return ReclamationPlan()
+        self.pressure_events += 1
+        candidates = sorted(
+            (
+                vm for vm in host.vms()
+                if vm.state is VMState.RUNNING and not vm.parked
+            ),
+            key=lambda vm: vm.last_activity,
+        )
+        victims: List[VirtualMachine] = []
+        projected = memory.allocated_frames
+        for vm in candidates:
+            if projected <= limit:
+                break
+            victims.append(vm)
+            projected -= vm.private_pages
+        plan = _split_detainees(
+            victims, self.detain_infected, self.detained_total, self.max_detained
+        )
+        self.detained_total += len(plan.detain)
+        return plan
+
+
+class CompositeReclamation(ReclamationPolicy):
+    """Run several policies and merge their plans (idle + pressure)."""
+
+    def __init__(self, policies: List[ReclamationPolicy]) -> None:
+        if not policies:
+            raise ValueError("composite reclamation needs at least one policy")
+        self.policies = policies
+
+    def plan(self, host: PhysicalHost, now: float) -> ReclamationPlan:
+        merged = ReclamationPlan()
+        for policy in self.policies:
+            merged = merged.merge(policy.plan(host, now))
+        return merged
+
+
+__all__.append("CompositeReclamation")

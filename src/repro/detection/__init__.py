@@ -1,0 +1,28 @@
+"""Outbreak detection: turning the honeyfarm into a sensor.
+
+A honeyfarm doesn't just *capture* malware — it is a detector: the paper
+positions Potemkin's gateway as the place where new worms announce
+themselves. This package provides two complementary detectors:
+
+* :mod:`repro.detection.sifting` — **content sifting** at the gateway
+  (Earlybird/Autograph-style): payloads that become prevalent *and*
+  spread across many sources and destinations are flagged, yielding a
+  signature before any host-level confirmation.
+* :mod:`repro.detection.monitor` — **infection-rate monitoring** over
+  the farm's ground truth: the honeypots themselves confirm compromise,
+  slower but with zero false positives by construction.
+
+The detection-latency benchmark (experiment D-DETECT, an extension
+beyond the paper's evaluation) races the two against worm outbreaks of
+varying speed.
+"""
+
+from repro.detection.monitor import InfectionRateMonitor
+from repro.detection.sifting import ContentSifter, SifterConfig, WormAlert
+
+__all__ = [
+    "ContentSifter",
+    "InfectionRateMonitor",
+    "SifterConfig",
+    "WormAlert",
+]

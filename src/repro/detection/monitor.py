@@ -1,0 +1,110 @@
+"""Infection-rate monitoring: the honeyfarm's ground-truth detector.
+
+Content sifting infers a worm from traffic; the honeyfarm can do better
+— its honeypots *are* the confirmation. This monitor watches the stream
+of :class:`~repro.services.guest.InfectionRecord`s and alerts when the
+confirmed-infection rate for one worm crosses a threshold within a
+sliding window. By construction it has no false positives (every event
+is an actual compromise of an executing system), at the price of
+waiting for clones and exploit delivery — the latency the D-DETECT
+experiment measures against the sifter.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.services.guest import InfectionRecord
+
+__all__ = ["InfectionAlert", "InfectionRateMonitor"]
+
+
+@dataclass
+class InfectionAlert:
+    """A worm whose confirmed-compromise rate crossed the threshold."""
+
+    worm_name: str
+    time: float
+    infections_in_window: int
+    window_seconds: float
+
+
+class InfectionRateMonitor:
+    """Sliding-window rate detector over confirmed infections.
+
+    Install via ``farm.infections``' producer by passing
+    :meth:`record` as (or inside) the farm's infection callback, or feed
+    it records after the fact with :meth:`replay`.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        window_seconds: float = 10.0,
+        on_alert: Optional[Callable[[InfectionAlert], None]] = None,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        self.threshold = threshold
+        self.window_seconds = window_seconds
+        self.on_alert = on_alert
+        self.alerts: List[InfectionAlert] = []
+        self._windows: Dict[str, Deque[float]] = {}
+        self._alerted: Dict[str, bool] = {}
+
+    def record(self, infection: InfectionRecord) -> Optional[InfectionAlert]:
+        """Account one confirmed infection; returns a new alert if fired.
+
+        One alert per worm name; later infections of the same worm are
+        still windowed (for rate introspection) but do not re-alert.
+        """
+        window = self._windows.setdefault(infection.worm_name, deque())
+        window.append(infection.time)
+        horizon = infection.time - self.window_seconds
+        while window and window[0] < horizon:
+            window.popleft()
+
+        if self._alerted.get(infection.worm_name):
+            return None
+        if len(window) >= self.threshold:
+            self._alerted[infection.worm_name] = True
+            alert = InfectionAlert(
+                worm_name=infection.worm_name,
+                time=infection.time,
+                infections_in_window=len(window),
+                window_seconds=self.window_seconds,
+            )
+            self.alerts.append(alert)
+            if self.on_alert is not None:
+                self.on_alert(alert)
+            return alert
+        return None
+
+    def replay(self, infections) -> List[InfectionAlert]:
+        """Feed a time-ordered iterable of records; returns new alerts."""
+        fired = []
+        for infection in sorted(infections, key=lambda r: r.time):
+            alert = self.record(infection)
+            if alert is not None:
+                fired.append(alert)
+        return fired
+
+    def current_rate(self, worm_name: str) -> int:
+        """Infections of ``worm_name`` inside the most recent window."""
+        return len(self._windows.get(worm_name, ()))
+
+    def alert_for(self, worm_name: str) -> Optional[InfectionAlert]:
+        for alert in self.alerts:
+            if alert.worm_name == worm_name:
+                return alert
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<InfectionRateMonitor worms={len(self._windows)}"
+            f" alerts={len(self.alerts)}>"
+        )

@@ -1,0 +1,30 @@
+"""Forensics: what did the malware change?
+
+The quiet payoff of delta virtualization: because every honeypot VM is a
+copy-on-write overlay on a pristine reference image, "what did the
+intruder modify" is not a question for a disk walker — it is *exactly*
+the overlay. The farm can diff a captured VM against its snapshot in
+O(dirtied pages), cluster captures by the shape of their modifications,
+and estimate each worm's resident body size, all without trusting the
+(compromised) guest.
+
+* :mod:`repro.forensics.pagediff` — per-VM dirty-page diffs.
+* :mod:`repro.forensics.signature` — clustering diffs into per-worm
+  memory signatures (Jaccard over page sets).
+* :mod:`repro.forensics.triage` — farm-level triage: baseline from clean
+  VMs, signatures from infected ones, rendered report.
+"""
+
+from repro.forensics.pagediff import PageDiff, diff_vm
+from repro.forensics.signature import DiffCluster, MemorySignature, cluster_diffs
+from repro.forensics.triage import ForensicReport, ForensicTriage
+
+__all__ = [
+    "DiffCluster",
+    "ForensicReport",
+    "ForensicTriage",
+    "MemorySignature",
+    "PageDiff",
+    "cluster_diffs",
+    "diff_vm",
+]

@@ -1,0 +1,128 @@
+"""Clustering capture diffs into per-worm memory signatures.
+
+Identical malware dirties near-identical page sets: the guest layout is
+deterministic (same personality → same base working set and connection
+region), so the *difference between an infected diff and the clean
+profile* is the worm's resident body — and distinct worms produce
+distinct bodies. Greedy Jaccard clustering over raw page sets therefore
+separates worm families without any ground-truth labels, and each
+cluster's intersection minus the clean baseline is its
+:class:`MemorySignature`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence, Set
+
+from repro.forensics.pagediff import PageDiff
+from repro.vmm.memory import PAGE_SIZE
+
+__all__ = ["DiffCluster", "MemorySignature", "cluster_diffs"]
+
+
+@dataclass
+class DiffCluster:
+    """A group of diffs whose page sets are mutually similar."""
+
+    members: List[PageDiff] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    @property
+    def representative(self) -> PageDiff:
+        return self.members[0]
+
+    def common_pages(self) -> FrozenSet[int]:
+        """Pages every member dirtied."""
+        if not self.members:
+            return frozenset()
+        common: Set[int] = set(self.members[0].pages)
+        for diff in self.members[1:]:
+            common &= diff.pages
+        return frozenset(common)
+
+    def mean_jaccard(self) -> float:
+        """Mean pairwise similarity to the representative."""
+        if len(self.members) < 2:
+            return 1.0
+        rep = self.representative
+        others = self.members[1:]
+        return sum(rep.jaccard(d) for d in others) / len(others)
+
+    def dominant_worm(self) -> Optional[str]:
+        """Majority ground-truth label, for validation only."""
+        names = [d.worm_name for d in self.members if d.worm_name]
+        if not names:
+            return None
+        return max(set(names), key=names.count)
+
+    def label_purity(self) -> float:
+        """Fraction of labelled members that carry the dominant label."""
+        names = [d.worm_name for d in self.members if d.worm_name]
+        if not names:
+            return 1.0
+        dominant = self.dominant_worm()
+        return names.count(dominant) / len(names)
+
+
+@dataclass(frozen=True)
+class MemorySignature:
+    """The distilled memory fingerprint of one cluster."""
+
+    cluster_size: int
+    signature_pages: FrozenSet[int]
+    dominant_worm: Optional[str]
+    purity: float
+
+    @property
+    def body_pages(self) -> int:
+        return len(self.signature_pages)
+
+    @property
+    def body_bytes(self) -> int:
+        return self.body_pages * PAGE_SIZE
+
+
+def cluster_diffs(
+    diffs: Sequence[PageDiff],
+    similarity_threshold: float = 0.7,
+) -> List[DiffCluster]:
+    """Greedy single-pass clustering by Jaccard similarity.
+
+    Each diff joins the first cluster whose representative it matches at
+    or above ``similarity_threshold``, else starts a new cluster.
+    Deterministic in input order; diffs are processed largest-first so
+    representatives are the richest members.
+    """
+    if not (0.0 < similarity_threshold <= 1.0):
+        raise ValueError(f"similarity_threshold must be in (0, 1]: {similarity_threshold!r}")
+    clusters: List[DiffCluster] = []
+    for diff in sorted(diffs, key=lambda d: (-d.page_count, d.vm_id)):
+        for cluster in clusters:
+            if cluster.representative.jaccard(diff) >= similarity_threshold:
+                cluster.members.append(diff)
+                break
+        else:
+            clusters.append(DiffCluster(members=[diff]))
+    clusters.sort(key=lambda c: -c.size)
+    return clusters
+
+
+def signature_from_cluster(
+    cluster: DiffCluster,
+    clean_baseline: FrozenSet[int],
+) -> MemorySignature:
+    """Distil a cluster into a signature: its common pages minus what
+    clean guests of the same personality also dirty."""
+    return MemorySignature(
+        cluster_size=cluster.size,
+        signature_pages=cluster.common_pages() - clean_baseline,
+        dominant_worm=cluster.dominant_worm(),
+        purity=cluster.label_purity(),
+    )
+
+
+__all__.append("signature_from_cluster")

@@ -1,0 +1,149 @@
+"""Farm-level forensic triage.
+
+Collects dirty-page diffs from every examinable VM in a farm (live and
+detained; destroyed VMs have no overlay left), establishes a *clean
+baseline* per personality from the uninfected population, clusters the
+infected diffs, and produces a report: how many worm families, their
+estimated resident body sizes, and how the epidemic unfolded.
+
+The baseline is the union of pages clean VMs dirty — base working set
+plus connection region — so a signature contains only pages *no* clean
+guest touches, which is what makes the body-size estimate meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.analysis.report import format_table
+from repro.core.honeyfarm import Honeyfarm
+from repro.forensics.pagediff import PageDiff, diff_vm
+from repro.forensics.signature import (
+    DiffCluster,
+    MemorySignature,
+    cluster_diffs,
+    signature_from_cluster,
+)
+from repro.vmm.memory import PAGE_SIZE
+
+__all__ = ["ForensicReport", "ForensicTriage"]
+
+
+@dataclass
+class ForensicReport:
+    """Everything triage learned from one farm."""
+
+    examined_vms: int
+    clean_vms: int
+    infected_vms: int
+    baseline_pages_by_personality: Dict[str, int]
+    clusters: List[DiffCluster]
+    signatures: List[MemorySignature]
+    generations_seen: int
+
+    def render(self) -> str:
+        """Human-readable report tables."""
+        overview = format_table(["metric", "value"], [
+            ["VMs examined", self.examined_vms],
+            ["clean", self.clean_vms],
+            ["infected", self.infected_vms],
+            ["worm families found (clusters)", len(self.signatures)],
+            ["epidemic generations seen", self.generations_seen],
+        ], title="Forensic triage")
+        if not self.signatures:
+            return overview
+        rows = []
+        for sig in self.signatures:
+            rows.append([
+                sig.dominant_worm or "(unlabelled)",
+                sig.cluster_size,
+                sig.body_pages,
+                f"{sig.body_bytes / 1024:.0f}",
+                f"{sig.purity * 100:.0f}%",
+            ])
+        families = format_table(
+            ["family", "captures", "body pages", "body KiB", "cluster purity"],
+            rows, title="Memory signatures",
+        )
+        return overview + "\n\n" + families
+
+
+class ForensicTriage:
+    """Runs the collect → baseline → cluster → distil pipeline."""
+
+    def __init__(self, farm: Honeyfarm, similarity_threshold: float = 0.7) -> None:
+        self.farm = farm
+        self.similarity_threshold = similarity_threshold
+        self.diffs: List[PageDiff] = []
+
+    # ------------------------------------------------------------------ #
+    # Collection
+    # ------------------------------------------------------------------ #
+
+    def collect(self) -> int:
+        """Diff every examinable VM (live on hosts, plus detained).
+
+        Returns the number of diffs collected.
+        """
+        self.diffs = []
+        seen: Set[int] = set()
+        for host in self.farm.hosts:
+            for vm in host.vms():
+                if vm.vm_id not in seen and not vm.address_space.destroyed:
+                    seen.add(vm.vm_id)
+                    self.diffs.append(diff_vm(vm))
+        for vm in self.farm.detained:
+            if vm.vm_id not in seen and not vm.address_space.destroyed:
+                seen.add(vm.vm_id)
+                self.diffs.append(diff_vm(vm))
+        return len(self.diffs)
+
+    # ------------------------------------------------------------------ #
+    # Analysis
+    # ------------------------------------------------------------------ #
+
+    def clean_baseline(self) -> Dict[str, FrozenSet[int]]:
+        """Per-personality union of pages dirtied by *clean* VMs."""
+        baseline: Dict[str, Set[int]] = {}
+        for diff in self.diffs:
+            if diff.infected:
+                continue
+            baseline.setdefault(diff.personality, set()).update(diff.pages)
+        return {name: frozenset(pages) for name, pages in baseline.items()}
+
+    def report(self) -> ForensicReport:
+        """Run the full pipeline over the collected diffs."""
+        if not self.diffs:
+            self.collect()
+        clean = [d for d in self.diffs if not d.infected]
+        infected = [d for d in self.diffs if d.infected]
+        baseline = self.clean_baseline()
+
+        clusters = cluster_diffs(infected, self.similarity_threshold)
+        signatures = []
+        for cluster in clusters:
+            personality = cluster.representative.personality
+            signatures.append(
+                signature_from_cluster(
+                    cluster, baseline.get(personality, frozenset())
+                )
+            )
+
+        generations = [
+            d.generation for d in infected if d.generation is not None
+        ]
+        return ForensicReport(
+            examined_vms=len(self.diffs),
+            clean_vms=len(clean),
+            infected_vms=len(infected),
+            baseline_pages_by_personality={
+                name: len(pages) for name, pages in baseline.items()
+            },
+            clusters=clusters,
+            signatures=signatures,
+            generations_seen=(max(generations) + 1) if generations else 0,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ForensicTriage diffs={len(self.diffs)}>"

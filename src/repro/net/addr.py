@@ -1,0 +1,247 @@
+"""IPv4 addresses, CIDR prefixes, and the honeyfarm's address inventory.
+
+Addresses are immutable wrappers over a 32-bit int, which keeps the
+per-packet fast path (hashing, comparison, prefix membership) cheap — the
+simulator pushes millions of packets through these.
+
+The :class:`AddressSpaceInventory` models what the paper's gateway must
+know: which prefixes of dark space have been diverted to the honeyfarm
+(potentially many /16s), so it can tell "ours" from stray traffic and
+can allocate honeypot identities inside each prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+__all__ = ["IPAddress", "Prefix", "AddressSpaceInventory"]
+
+_MAX_IPV4 = (1 << 32) - 1
+
+
+class IPAddress:
+    """An immutable IPv4 address backed by an int.
+
+    >>> IPAddress.parse("10.0.0.1").value
+    167772161
+    >>> str(IPAddress(167772161))
+    '10.0.0.1'
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        if not (0 <= value <= _MAX_IPV4):
+            raise ValueError(f"IPv4 address out of range: {value!r}")
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("IPAddress is immutable")
+
+    @classmethod
+    def parse(cls, text: str) -> "IPAddress":
+        """Parse dotted-quad notation."""
+        parts = text.split(".")
+        if len(parts) != 4:
+            raise ValueError(f"malformed IPv4 address: {text!r}")
+        value = 0
+        for part in parts:
+            if not part.isdigit():
+                raise ValueError(f"malformed IPv4 address: {text!r}")
+            octet = int(part)
+            if octet > 255:
+                raise ValueError(f"octet out of range in {text!r}")
+            value = (value << 8) | octet
+        return cls(value)
+
+    def __str__(self) -> str:
+        v = self.value
+        return f"{(v >> 24) & 0xFF}.{(v >> 16) & 0xFF}.{(v >> 8) & 0xFF}.{v & 0xFF}"
+
+    def __repr__(self) -> str:
+        return f"IPAddress('{self}')"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IPAddress) and self.value == other.value
+
+    def __lt__(self, other: "IPAddress") -> bool:
+        return self.value < other.value
+
+    def __le__(self, other: "IPAddress") -> bool:
+        return self.value <= other.value
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def offset(self, delta: int) -> "IPAddress":
+        """The address ``delta`` positions away (may be negative)."""
+        return IPAddress(self.value + delta)
+
+
+class Prefix:
+    """A CIDR prefix, e.g. ``10.1.0.0/16``.
+
+    >>> p = Prefix.parse("10.1.0.0/16")
+    >>> p.contains(IPAddress.parse("10.1.2.3"))
+    True
+    >>> p.size
+    65536
+    """
+
+    __slots__ = ("network", "length")
+
+    def __init__(self, network: IPAddress, length: int) -> None:
+        if not (0 <= length <= 32):
+            raise ValueError(f"prefix length out of range: {length!r}")
+        mask = self._mask(length)
+        if network.value & ~mask & _MAX_IPV4:
+            raise ValueError(
+                f"{network}/{length} has host bits set; not a valid prefix"
+            )
+        object.__setattr__(self, "network", network)
+        object.__setattr__(self, "length", length)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Prefix is immutable")
+
+    @staticmethod
+    def _mask(length: int) -> int:
+        return (_MAX_IPV4 << (32 - length)) & _MAX_IPV4 if length else 0
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``a.b.c.d/len`` notation."""
+        if "/" not in text:
+            raise ValueError(f"prefix must contain '/': {text!r}")
+        net, __, length = text.partition("/")
+        return cls(IPAddress.parse(net), int(length))
+
+    @property
+    def mask(self) -> int:
+        return self._mask(self.length)
+
+    @property
+    def size(self) -> int:
+        """Number of addresses covered."""
+        return 1 << (32 - self.length)
+
+    @property
+    def first(self) -> IPAddress:
+        return self.network
+
+    @property
+    def last(self) -> IPAddress:
+        return IPAddress(self.network.value + self.size - 1)
+
+    def contains(self, addr: IPAddress) -> bool:
+        return (addr.value & self.mask) == self.network.value
+
+    def address_at(self, index: int) -> IPAddress:
+        """The ``index``-th address inside the prefix (0-based)."""
+        if not (0 <= index < self.size):
+            raise IndexError(f"index {index} outside {self}")
+        return IPAddress(self.network.value + index)
+
+    def index_of(self, addr: IPAddress) -> int:
+        """Inverse of :meth:`address_at`."""
+        if not self.contains(addr):
+            raise ValueError(f"{addr} is not in {self}")
+        return addr.value - self.network.value
+
+    def overlaps(self, other: "Prefix") -> bool:
+        return self.contains(other.network) or other.contains(self.network)
+
+    def addresses(self) -> Iterator[IPAddress]:
+        """Iterate every address in the prefix (use only on small prefixes)."""
+        for i in range(self.size):
+            yield IPAddress(self.network.value + i)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Prefix)
+            and self.network == other.network
+            and self.length == other.length
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.network.value, self.length))
+
+    def __str__(self) -> str:
+        return f"{self.network}/{self.length}"
+
+    def __repr__(self) -> str:
+        return f"Prefix('{self}')"
+
+
+class AddressSpaceInventory:
+    """The set of dark prefixes diverted to the honeyfarm.
+
+    The gateway consults this on every packet: traffic to an address
+    outside every registered prefix is not honeyfarm traffic and is
+    counted and dropped. Lookup is a linear scan over prefixes, which is
+    exact and fast for the handful-to-hundreds of prefixes a real
+    deployment carries (the paper's testbed tunnelled 64 /16s).
+    """
+
+    def __init__(self, prefixes: Optional[Iterable[Prefix]] = None) -> None:
+        self._prefixes: List[Prefix] = []
+        for prefix in prefixes or []:
+            self.add(prefix)
+
+    def add(self, prefix: Prefix) -> None:
+        """Register a diverted prefix; overlapping registrations are
+        rejected to keep the address→VM mapping unambiguous."""
+        for existing in self._prefixes:
+            if existing.overlaps(prefix):
+                raise ValueError(f"{prefix} overlaps already-registered {existing}")
+        self._prefixes.append(prefix)
+
+    @property
+    def prefixes(self) -> Tuple[Prefix, ...]:
+        return tuple(self._prefixes)
+
+    @property
+    def total_addresses(self) -> int:
+        """Total dark addresses the farm impersonates."""
+        return sum(p.size for p in self._prefixes)
+
+    def lookup(self, addr: IPAddress) -> Optional[Prefix]:
+        """The registered prefix covering ``addr``, or None."""
+        for prefix in self._prefixes:
+            if prefix.contains(addr):
+                return prefix
+        return None
+
+    def covers(self, addr: IPAddress) -> bool:
+        return self.lookup(addr) is not None
+
+    def flat_index(self, addr: IPAddress) -> int:
+        """A dense 0-based index over all registered addresses, in
+        registration order — used to map addresses onto the vulnerable-host
+        bitmap in epidemic experiments."""
+        base = 0
+        for prefix in self._prefixes:
+            if prefix.contains(addr):
+                return base + prefix.index_of(addr)
+            base += prefix.size
+        raise ValueError(f"{addr} is not in any registered prefix")
+
+    def address_at_flat_index(self, index: int) -> IPAddress:
+        """Inverse of :meth:`flat_index`."""
+        if index < 0:
+            raise IndexError(f"negative flat index: {index}")
+        remaining = index
+        for prefix in self._prefixes:
+            if remaining < prefix.size:
+                return prefix.address_at(remaining)
+            remaining -= prefix.size
+        raise IndexError(f"flat index {index} beyond inventory of {self.total_addresses}")
+
+    def __len__(self) -> int:
+        return len(self._prefixes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"AddressSpaceInventory(prefixes={len(self._prefixes)},"
+            f" addresses={self.total_addresses})"
+        )

@@ -1,0 +1,163 @@
+"""Flow keys and the gateway's flow table.
+
+The gateway tracks flows for two reasons the paper calls out:
+
+* **Dispatch** — subsequent packets of a flow must reach the same VM that
+  handled the first packet, even if the address→VM binding has since been
+  recycled.
+* **Containment accounting** — outbound policy (rate limits, "one response
+  flow per inbound flow") is stated in terms of flows, not packets.
+
+Flows are identified by the canonical (sorted) 5-tuple so both directions
+of a conversation map to the same record. Records expire after a
+configurable idle interval; expiry is checked lazily on access and via an
+explicit :meth:`FlowTable.expire_idle` sweep, so no timer per flow exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.net.addr import IPAddress
+from repro.net.packet import Packet
+
+__all__ = ["FlowKey", "FlowRecord", "FlowTable"]
+
+
+@dataclass(frozen=True)
+class FlowKey:
+    """Direction-independent 5-tuple identifying a conversation."""
+
+    addr_low: IPAddress
+    port_low: int
+    addr_high: IPAddress
+    port_high: int
+    protocol: int
+
+    @classmethod
+    def from_packet(cls, packet: Packet) -> "FlowKey":
+        """Canonical key: endpoints ordered by (address, port)."""
+        a = (packet.src, packet.src_port)
+        b = (packet.dst, packet.dst_port)
+        if (a[0].value, a[1]) <= (b[0].value, b[1]):
+            low, high = a, b
+        else:
+            low, high = b, a
+        return cls(
+            addr_low=low[0],
+            port_low=low[1],
+            addr_high=high[0],
+            port_high=high[1],
+            protocol=packet.protocol,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.addr_low}:{self.port_low}<->{self.addr_high}:{self.port_high}"
+            f"/{self.protocol}"
+        )
+
+
+@dataclass
+class FlowRecord:
+    """Mutable per-flow state kept by the gateway."""
+
+    key: FlowKey
+    first_seen: float
+    last_seen: float
+    initiator: IPAddress
+    packets: int = 0
+    bytes: int = 0
+    vm_id: Optional[int] = None
+    tunnel_key: Optional[int] = None
+
+    def touch(self, packet: Packet, now: float) -> None:
+        """Account one more packet on this flow."""
+        self.last_seen = now
+        self.packets += 1
+        self.bytes += packet.size
+
+    def idle_for(self, now: float) -> float:
+        return now - self.last_seen
+
+
+class FlowTable:
+    """Dictionary of live flows with idle-based expiry.
+
+    ``idle_timeout`` matches the gateway's flow-inactivity horizon; once a
+    flow has been silent that long it is forgotten, and a new packet on the
+    same 5-tuple starts a fresh record (and may be dispatched to a new VM).
+    """
+
+    def __init__(self, idle_timeout: float = 60.0) -> None:
+        if idle_timeout <= 0:
+            raise ValueError(f"idle_timeout must be positive: {idle_timeout!r}")
+        self.idle_timeout = idle_timeout
+        self._flows: Dict[FlowKey, FlowRecord] = {}
+        self.expired_total = 0
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __contains__(self, key: FlowKey) -> bool:
+        return key in self._flows
+
+    def lookup(self, packet: Packet, now: float) -> Optional[FlowRecord]:
+        """The live record for this packet's flow, or None.
+
+        A record past its idle timeout is treated as absent (and removed),
+        so callers never observe stale flows regardless of sweep timing.
+        """
+        key = FlowKey.from_packet(packet)
+        record = self._flows.get(key)
+        if record is None:
+            return None
+        if record.idle_for(now) > self.idle_timeout:
+            del self._flows[key]
+            self.expired_total += 1
+            return None
+        return record
+
+    def observe(self, packet: Packet, now: float) -> Tuple[FlowRecord, bool]:
+        """Account ``packet``; returns ``(record, is_new_flow)``."""
+        record = self.lookup(packet, now)
+        created = record is None
+        if record is None:
+            key = FlowKey.from_packet(packet)
+            record = FlowRecord(
+                key=key,
+                first_seen=now,
+                last_seen=now,
+                initiator=packet.src,
+            )
+            self._flows[key] = record
+        record.touch(packet, now)
+        return record, created
+
+    def expire_idle(self, now: float) -> List[FlowRecord]:
+        """Remove and return every flow idle past the timeout."""
+        expired = [
+            record
+            for record in self._flows.values()
+            if record.idle_for(now) > self.idle_timeout
+        ]
+        for record in expired:
+            del self._flows[record.key]
+        self.expired_total += len(expired)
+        return expired
+
+    def flows_for_vm(self, vm_id: int) -> List[FlowRecord]:
+        """All live flows currently bound to ``vm_id`` (used when a VM is
+        reclaimed, to drop its residual flow state)."""
+        return [r for r in self._flows.values() if r.vm_id == vm_id]
+
+    def drop_vm(self, vm_id: int) -> int:
+        """Forget all flows bound to a reclaimed VM; returns count dropped."""
+        doomed = self.flows_for_vm(vm_id)
+        for record in doomed:
+            del self._flows[record.key]
+        return len(doomed)
+
+    def __iter__(self) -> Iterator[FlowRecord]:
+        return iter(list(self._flows.values()))

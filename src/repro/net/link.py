@@ -1,0 +1,83 @@
+"""Point-to-point links with propagation delay, bandwidth, and loss.
+
+Links connect border routers to the gateway and the gateway to honeyfarm
+servers. The model is intentionally simple — fixed propagation delay plus
+store-and-forward serialization at the configured bandwidth, with i.i.d.
+random loss — because the paper's results are dominated by control-plane
+latencies (cloning) and policy, not by queueing; but the serialization
+term matters for the gateway-throughput experiment, so it is kept.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.rand import RandomStream
+
+__all__ = ["Link"]
+
+
+class Link:
+    """Unidirectional link delivering objects to a sink callback.
+
+    ``deliver(obj, size)`` schedules ``sink(obj)`` after
+    ``propagation_delay + size / bandwidth`` seconds, unless the packet is
+    lost. ``bandwidth`` is in bytes/second; ``None`` means infinite (no
+    serialization delay). Deliveries on one link maintain FIFO order: a
+    packet is never delivered before one submitted earlier (the link
+    tracks when its transmitter frees up).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sink: Callable[[Any], None],
+        propagation_delay: float = 0.0005,
+        bandwidth: Optional[float] = 125_000_000.0,  # 1 Gb/s in bytes/s
+        loss_rate: float = 0.0,
+        rng: Optional[RandomStream] = None,
+        name: str = "",
+    ) -> None:
+        if propagation_delay < 0:
+            raise ValueError(f"propagation_delay must be >= 0: {propagation_delay!r}")
+        if bandwidth is not None and bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive or None: {bandwidth!r}")
+        if not (0.0 <= loss_rate < 1.0):
+            raise ValueError(f"loss_rate must be in [0, 1): {loss_rate!r}")
+        if loss_rate > 0.0 and rng is None:
+            raise ValueError("a lossy link needs an rng for loss decisions")
+        self.sim = sim
+        self.sink = sink
+        self.propagation_delay = propagation_delay
+        self.bandwidth = bandwidth
+        self.loss_rate = loss_rate
+        self.rng = rng
+        self.name = name
+        self.delivered = 0
+        self.lost = 0
+        self.bytes_delivered = 0
+        self._transmitter_free_at = 0.0
+
+    def deliver(self, obj: Any, size: int) -> bool:
+        """Submit ``obj`` (``size`` bytes) for delivery.
+
+        Returns False if the packet was dropped by the loss process.
+        """
+        if self.loss_rate > 0.0 and self.rng is not None and self.rng.bernoulli(self.loss_rate):
+            self.lost += 1
+            return False
+        start = max(self.sim.now, self._transmitter_free_at)
+        serialization = (size / self.bandwidth) if self.bandwidth is not None else 0.0
+        self._transmitter_free_at = start + serialization
+        arrival = self._transmitter_free_at + self.propagation_delay
+        self.sim.schedule_at(arrival, self._arrive, obj, size)
+        return True
+
+    def _arrive(self, obj: Any, size: int) -> None:
+        self.delivered += 1
+        self.bytes_delivered += size
+        self.sink(obj)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Link {self.name!r} delivered={self.delivered} lost={self.lost}>"

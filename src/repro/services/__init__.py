@@ -1,0 +1,33 @@
+"""Guest behaviour: what a honeypot VM *does* with the traffic it receives.
+
+Fidelity is the point of a honeyfarm — each impersonated address is backed
+by a real executing system. In the reproduction the "real system" is a
+protocol-level behavioural model:
+
+* :mod:`repro.services.vulnerabilities` — the exploit/vulnerability
+  catalog (which payloads compromise which services).
+* :mod:`repro.services.personality` — host personalities: open ports,
+  banners, vulnerabilities, and memory working-set parameters.
+* :mod:`repro.services.guest` — the per-VM guest model: answers probes,
+  accepts connections, gets infected, dirties memory pages, and (once
+  infected) emits the worm's outbound scans.
+* :mod:`repro.services.dns` — a resolver the containment policy can
+  choose to allow (the paper's "permit DNS" example).
+"""
+
+from repro.services.dns import DnsServer
+from repro.services.guest import GuestHost, InfectionRecord
+from repro.services.personality import Personality, PersonalityRegistry, default_registry
+from repro.services.vulnerabilities import ServiceDef, Vulnerability, VulnerabilityCatalog
+
+__all__ = [
+    "DnsServer",
+    "GuestHost",
+    "InfectionRecord",
+    "Personality",
+    "PersonalityRegistry",
+    "ServiceDef",
+    "Vulnerability",
+    "VulnerabilityCatalog",
+    "default_registry",
+]

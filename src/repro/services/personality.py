@@ -1,0 +1,177 @@
+"""Host personalities: the guest configuration a snapshot is built from.
+
+A personality determines how a honeypot answers the network — which ports
+are open, what banners services speak, which vulnerabilities are present —
+and how much memory its activity dirties. Reference snapshots are built
+per personality; the honeyfarm can run several side by side (the paper
+notes multiple reference images per host, e.g. different Windows builds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.net.packet import PROTO_TCP, PROTO_UDP
+from repro.services.vulnerabilities import ServiceDef, Vulnerability, VulnerabilityCatalog
+
+__all__ = ["Personality", "PersonalityRegistry", "default_registry"]
+
+
+@dataclass(frozen=True)
+class Personality:
+    """A guest configuration.
+
+    Memory parameters (all in 4 KiB pages) drive the delta-virtualization
+    experiments:
+
+    * ``base_working_set_pages`` — dirtied when the clone first runs
+      (scheduler state, timers, network stack warm-up).
+    * ``pages_per_connection`` — dirtied for each handled connection
+      (socket buffers, service heap churn).
+    * ``connection_working_set_cap_pages`` — the *plateau*: services
+      reuse buffers and heap, so connection churn cycles within a bounded
+      region instead of growing the footprint forever. Without this cap a
+      long-lived busy honeypot's private memory would grow linearly with
+      connections handled, which real guests do not do.
+    * Per-vulnerability ``infection_pages`` apply on compromise.
+    """
+
+    name: str
+    services: Tuple[ServiceDef, ...]
+    vulnerability_names: Tuple[str, ...]
+    base_working_set_pages: int = 192
+    pages_per_connection: int = 6
+    connection_working_set_cap_pages: int = 96
+    disk_blocks_per_connection: int = 1
+    disk_working_set_cap_blocks: int = 64
+    infection_disk_blocks: int = 48
+
+    def __post_init__(self) -> None:
+        if self.base_working_set_pages < 0:
+            raise ValueError("base_working_set_pages must be >= 0")
+        if self.pages_per_connection < 0:
+            raise ValueError("pages_per_connection must be >= 0")
+        if self.connection_working_set_cap_pages < 0:
+            raise ValueError("connection_working_set_cap_pages must be >= 0")
+        if self.disk_blocks_per_connection < 0:
+            raise ValueError("disk_blocks_per_connection must be >= 0")
+        if self.disk_working_set_cap_blocks < 0:
+            raise ValueError("disk_working_set_cap_blocks must be >= 0")
+        if self.infection_disk_blocks < 0:
+            raise ValueError("infection_disk_blocks must be >= 0")
+        seen = set()
+        for svc in self.services:
+            key = (svc.protocol, svc.port)
+            if key in seen:
+                raise ValueError(f"duplicate service endpoint {key} in {self.name!r}")
+            seen.add(key)
+
+    def service_at(self, protocol: int, port: int) -> Optional[ServiceDef]:
+        for svc in self.services:
+            if svc.protocol == protocol and svc.port == port:
+                return svc
+        return None
+
+    def listens_on(self, protocol: int, port: int) -> bool:
+        return self.service_at(protocol, port) is not None
+
+    def vulnerabilities(self, catalog: VulnerabilityCatalog) -> List[Vulnerability]:
+        """Resolve this personality's vulnerability names in ``catalog``."""
+        return [catalog.get(name) for name in self.vulnerability_names]
+
+
+class PersonalityRegistry:
+    """Named personalities plus the vulnerability catalog they draw from."""
+
+    def __init__(self, catalog: Optional[VulnerabilityCatalog] = None) -> None:
+        self.catalog = catalog or VulnerabilityCatalog.default()
+        self._personalities: Dict[str, Personality] = {}
+
+    def register(self, personality: Personality) -> None:
+        if personality.name in self._personalities:
+            raise ValueError(f"duplicate personality: {personality.name!r}")
+        for vuln_name in personality.vulnerability_names:
+            if vuln_name not in self.catalog:
+                raise ValueError(
+                    f"personality {personality.name!r} references unknown"
+                    f" vulnerability {vuln_name!r}"
+                )
+        self._personalities[personality.name] = personality
+
+    def get(self, name: str) -> Personality:
+        return self._personalities[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._personalities
+
+    def names(self) -> List[str]:
+        return sorted(self._personalities)
+
+
+def default_registry() -> PersonalityRegistry:
+    """The stock personalities used by examples and experiments.
+
+    ``windows-default`` mirrors the paper's unpatched-Windows reference
+    image: the full mid-2000s attack surface. ``linux-server`` answers web
+    and SSH probes but carries none of the catalog's Windows flaws — it
+    exists so experiments can show fidelity (banner differences, refused
+    connections) across personalities.
+    """
+    registry = PersonalityRegistry()
+    registry.register(
+        Personality(
+            name="windows-default",
+            services=(
+                ServiceDef("msrpc", PROTO_TCP, 135, banner="MSRPC"),
+                ServiceDef("netbios-ssn", PROTO_TCP, 139, banner="NBT"),
+                ServiceDef("microsoft-ds", PROTO_TCP, 445, banner="SMB"),
+                ServiceDef("iis-http", PROTO_TCP, 80, banner="Microsoft-IIS/5.0"),
+                ServiceDef("mssql-monitor", PROTO_UDP, 1434, banner="MSSQL"),
+            ),
+            vulnerability_names=("slammer", "blaster", "codered", "sasser", "nimda"),
+            base_working_set_pages=192,
+            pages_per_connection=6,
+        )
+    )
+    registry.register(
+        Personality(
+            name="windows-iss",
+            services=(
+                ServiceDef("msrpc", PROTO_TCP, 135, banner="MSRPC"),
+                ServiceDef("microsoft-ds", PROTO_TCP, 445, banner="SMB"),
+                ServiceDef("blackice", PROTO_UDP, 4000, banner="ISS"),
+            ),
+            vulnerability_names=("witty",),
+            base_working_set_pages=208,  # the security suite itself
+            pages_per_connection=6,
+        )
+    )
+    registry.register(
+        Personality(
+            name="windows-patched",
+            services=(
+                ServiceDef("msrpc", PROTO_TCP, 135, banner="MSRPC"),
+                ServiceDef("netbios-ssn", PROTO_TCP, 139, banner="NBT"),
+                ServiceDef("microsoft-ds", PROTO_TCP, 445, banner="SMB"),
+                ServiceDef("iis-http", PROTO_TCP, 80, banner="Microsoft-IIS/6.0"),
+                ServiceDef("mssql-monitor", PROTO_UDP, 1434, banner="MSSQL"),
+            ),
+            vulnerability_names=(),  # same surface, flaws fixed
+            base_working_set_pages=200,
+            pages_per_connection=6,
+        )
+    )
+    registry.register(
+        Personality(
+            name="linux-server",
+            services=(
+                ServiceDef("apache-http", PROTO_TCP, 80, banner="Apache/1.3.33"),
+                ServiceDef("openssh", PROTO_TCP, 22, banner="SSH-2.0-OpenSSH_3.9"),
+            ),
+            vulnerability_names=(),
+            base_working_set_pages=128,
+            pages_per_connection=4,
+        )
+    )
+    return registry

@@ -1,0 +1,179 @@
+"""Generator-based simulation processes.
+
+Some behaviours are naturally sequential — a guest handling a TCP session
+("accept, wait 5 ms, send banner, wait for payload, ..."), a worm's
+scan loop, a reclamation daemon's periodic sweep. Writing these as chains
+of explicit callbacks obscures the control flow, so this module provides a
+tiny coroutine layer over :class:`~repro.sim.engine.Simulator`:
+
+>>> from repro.sim import Simulator, spawn, Sleep
+>>> sim = Simulator()
+>>> log = []
+>>> def worker():
+...     log.append(("start", sim.now))
+...     yield Sleep(2.0)
+...     log.append(("done", sim.now))
+>>> _ = spawn(sim, worker())
+>>> sim.run()
+>>> log
+[('start', 0.0), ('done', 2.0)]
+
+A process is a generator that yields *commands*:
+
+* ``Sleep(dt)`` — suspend for ``dt`` simulated seconds.
+* ``WaitEvent()`` — suspend until another process calls
+  :meth:`WaitEvent.trigger`, which resumes the waiter with an optional
+  value (a one-shot condition variable).
+
+Processes can also ``return`` a value; it is stored on
+:attr:`Process.result` and the optional completion callback fires.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.sim.engine import Simulator
+
+__all__ = ["Sleep", "WaitEvent", "Process", "spawn"]
+
+
+class Sleep:
+    """Yielded by a process to suspend for ``duration`` simulated seconds."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float) -> None:
+        if duration < 0:
+            raise ValueError(f"cannot sleep a negative duration: {duration!r}")
+        self.duration = duration
+
+
+class WaitEvent:
+    """A one-shot signal a process can wait on.
+
+    One or more processes yield the same ``WaitEvent``; a later call to
+    :meth:`trigger` resumes all of them (in wait order) with the value.
+    Triggering before anyone waits is allowed — waiters then resume
+    immediately (the event latches).
+    """
+
+    __slots__ = ("_waiters", "_fired", "_value")
+
+    def __init__(self) -> None:
+        self._waiters: List["Process"] = []
+        self._fired = False
+        self._value: Any = None
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event, resuming every waiter with ``value``."""
+        if self._fired:
+            return
+        self._fired = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            proc._resume(value)
+
+
+class Process:
+    """A running simulation process; see module docstring.
+
+    Not constructed directly — use :func:`spawn`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: Generator[Any, Any, Any],
+        on_complete: Optional[Callable[[Any], None]] = None,
+        name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.result: Any = None
+        self.finished = False
+        self.cancelled = False
+        self._generator = generator
+        self._on_complete = on_complete
+
+    def cancel(self) -> None:
+        """Stop the process; it never resumes and ``on_complete`` never fires.
+
+        Safe to call from inside the process's own call chain (e.g. an
+        action the process triggered decides to kill it): the generator
+        cannot be closed while executing, so it is marked cancelled and
+        discarded when it next yields.
+        """
+        if self.finished:
+            return
+        self.cancelled = True
+        self.finished = True
+        try:
+            self._generator.close()
+        except ValueError:
+            pass  # currently executing; _advance drops it at the next yield
+
+    def _start(self) -> None:
+        self._advance(lambda: next(self._generator))
+
+    def _resume(self, value: Any) -> None:
+        if self.finished:
+            return
+        self._advance(lambda: self._generator.send(value))
+
+    def _advance(self, step: Callable[[], Any]) -> None:
+        try:
+            command = step()
+        except StopIteration as stop:
+            if self.cancelled:
+                return
+            self.finished = True
+            self.result = stop.value
+            if self._on_complete is not None:
+                self._on_complete(self.result)
+            return
+        if self.cancelled:
+            # Cancelled from within its own call chain while executing;
+            # drop the yielded command and close now that it is suspended.
+            self._generator.close()
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, Sleep):
+            self.sim.schedule(command.duration, self._resume, None)
+        elif isinstance(command, WaitEvent):
+            if command.fired:
+                self.sim.call_now(self._resume, command.value)
+            else:
+                command._waiters.append(self)
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded {command!r}; expected Sleep or WaitEvent"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "finished" if self.finished else "running"
+        return f"<Process {self.name!r} {state}>"
+
+
+def spawn(
+    sim: Simulator,
+    generator: Generator[Any, Any, Any],
+    on_complete: Optional[Callable[[Any], None]] = None,
+    name: str = "",
+) -> Process:
+    """Start ``generator`` as a process on ``sim``; runs its first step
+    at the current simulated time (via a zero-delay event)."""
+    proc = Process(sim, generator, on_complete=on_complete, name=name)
+    sim.call_now(proc._start)
+    return proc

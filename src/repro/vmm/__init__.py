@@ -1,0 +1,54 @@
+"""Simulated virtual machine monitor (the Xen stand-in).
+
+The real Potemkin modifies Xen 3.0 so that new honeypot VMs are *forked*
+from a live reference VM and share its memory copy-on-write. This package
+reproduces that machinery at the level the paper's results depend on —
+page-granular memory with exact sharing accounting, VM lifecycle, virtual
+devices, and per-host capacity — with a calibrated latency model standing
+in for the measured control-plane costs.
+
+Modules
+-------
+* :mod:`repro.vmm.memory` — physical frame pool, reference images, and
+  copy-on-write guest address spaces (the delta-virtualization mechanism).
+* :mod:`repro.vmm.snapshot` — frozen reference snapshots taken from a
+  booted reference VM.
+* :mod:`repro.vmm.vm` — VM lifecycle (cloning → running → destroyed),
+  network identity, activity tracking.
+* :mod:`repro.vmm.devices` — virtual NICs and copy-on-write block devices.
+* :mod:`repro.vmm.host` — a physical server: memory pool, VM slots, and
+  admission control.
+* :mod:`repro.vmm.latency` — the clone/boot/copy cost model, calibrated to
+  the paper's reported stage costs.
+"""
+
+from repro.vmm.devices import VirtualBlockDevice, VirtualInterface
+from repro.vmm.host import HostCapacityError, PhysicalHost
+from repro.vmm.latency import BOOT_FROM_SCRATCH_SECONDS, CloneCostModel, StageCost
+from repro.vmm.memory import (
+    PAGE_SIZE,
+    GuestAddressSpace,
+    MachineMemory,
+    OutOfMemoryError,
+    ReferenceImage,
+)
+from repro.vmm.snapshot import ReferenceSnapshot
+from repro.vmm.vm import VirtualMachine, VMState
+
+__all__ = [
+    "BOOT_FROM_SCRATCH_SECONDS",
+    "CloneCostModel",
+    "GuestAddressSpace",
+    "HostCapacityError",
+    "MachineMemory",
+    "OutOfMemoryError",
+    "PAGE_SIZE",
+    "PhysicalHost",
+    "ReferenceImage",
+    "ReferenceSnapshot",
+    "StageCost",
+    "VMState",
+    "VirtualBlockDevice",
+    "VirtualInterface",
+    "VirtualMachine",
+]

@@ -1,0 +1,154 @@
+"""Virtual devices: network interfaces and copy-on-write block devices.
+
+Flash cloning must give each clone a working set of devices without
+per-clone state of any size: the NIC is just an identity (MAC + IP,
+rewritten at clone time — the step the paper's network_reconfig stage pays
+for), and the disk is a CoW overlay over a shared base image, the block
+analogue of delta virtualization.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Set
+
+from repro.net.addr import IPAddress
+
+__all__ = ["VirtualInterface", "VirtualBlockDevice", "DiskImage"]
+
+_mac_counter = itertools.count(1)
+
+BLOCK_SIZE = 4096
+"""Bytes per disk block; CoW granularity for the block device."""
+
+
+def _generate_mac(index: int) -> str:
+    """Locally-administered MAC in the honeyfarm's range."""
+    return "02:70:6b:{:02x}:{:02x}:{:02x}".format(
+        (index >> 16) & 0xFF, (index >> 8) & 0xFF, index & 0xFF
+    )
+
+
+class VirtualInterface:
+    """A clone's virtual NIC: its impersonated network identity.
+
+    The IP address is mutable — that's the whole point: the gateway
+    assigns the clone whichever dark address the triggering packet
+    targeted, after the VM was forked from a reference with a placeholder
+    address.
+    """
+
+    def __init__(self, ip: Optional[IPAddress] = None) -> None:
+        self.mac = _generate_mac(next(_mac_counter))
+        self.ip = ip
+        self.packets_in = 0
+        self.packets_out = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    def assign_ip(self, ip: IPAddress) -> None:
+        """Rewrite the interface's IP (the clone-time identity swap)."""
+        self.ip = ip
+
+    def account_in(self, size: int) -> None:
+        self.packets_in += 1
+        self.bytes_in += size
+
+    def account_out(self, size: int) -> None:
+        self.packets_out += 1
+        self.bytes_out += size
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<VirtualInterface ip={self.ip} mac={self.mac}>"
+
+
+class DiskImage:
+    """A shared, read-only base disk image.
+
+    ``sharers`` mirrors :class:`~repro.vmm.memory.ReferenceImage`; the
+    image cannot be retired while clones still overlay it.
+    """
+
+    def __init__(self, block_count: int, name: str = "base-disk") -> None:
+        if block_count <= 0:
+            raise ValueError(f"block_count must be positive: {block_count!r}")
+        self.block_count = block_count
+        self.name = name
+        self.sharers = 0
+
+    @property
+    def bytes(self) -> int:
+        return self.block_count * BLOCK_SIZE
+
+    def attach(self) -> None:
+        self.sharers += 1
+
+    def detach(self) -> None:
+        if self.sharers <= 0:
+            raise ValueError("detach without matching attach")
+        self.sharers -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<DiskImage {self.name!r} blocks={self.block_count} sharers={self.sharers}>"
+
+
+class VirtualBlockDevice:
+    """A clone's disk: CoW overlay over a shared :class:`DiskImage`.
+
+    Tracks which blocks the clone has written; ``private_blocks`` is the
+    clone's marginal disk footprint, reported by the memory-economics
+    experiment alongside private memory pages.
+    """
+
+    def __init__(self, image: DiskImage) -> None:
+        image.attach()
+        self.image = image
+        self._dirty: Set[int] = set()
+        self.reads = 0
+        self.writes = 0
+        self.detached = False
+
+    def read(self, block: int) -> bool:
+        """Read one block; returns True if served from the private overlay."""
+        self._check(block)
+        self.reads += 1
+        return block in self._dirty
+
+    def write(self, block: int) -> bool:
+        """Write one block; returns True if this was the first write (a CoW
+        block allocation)."""
+        self._check(block)
+        self.writes += 1
+        if block in self._dirty:
+            return False
+        self._dirty.add(block)
+        return True
+
+    @property
+    def private_blocks(self) -> int:
+        return len(self._dirty)
+
+    def dirty_block_numbers(self):
+        """Iterator over the blocks this clone has written (forensics)."""
+        return iter(self._dirty)
+
+    @property
+    def private_bytes(self) -> int:
+        return self.private_blocks * BLOCK_SIZE
+
+    def detach(self) -> None:
+        """Drop the overlay and release the base image reference."""
+        if self.detached:
+            return
+        self._dirty.clear()
+        self.image.detach()
+        self.detached = True
+
+    def _check(self, block: int) -> None:
+        if self.detached:
+            raise ValueError("block device has been detached")
+        if not (0 <= block < self.image.block_count):
+            raise IndexError(f"block {block} outside image of {self.image.block_count}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<VirtualBlockDevice private={self.private_blocks} blocks>"

@@ -1,0 +1,310 @@
+"""Page-granular memory with copy-on-write sharing (delta virtualization).
+
+This module is the mechanism behind the paper's key memory result: a
+flash-cloned VM initially shares *every* page with its reference image and
+pays physical memory only for pages it subsequently dirties, so hundreds
+of honeypot VMs fit in the RAM that would conventionally hold a handful.
+
+Representation
+--------------
+A clone's address space is a **base + overlay**:
+
+* the *base* is an immutable :class:`ReferenceImage` whose frames were
+  allocated once, when the reference snapshot was taken;
+* the *overlay* is a per-VM dict mapping page number → private frame,
+  populated on first write to each page (the CoW fault).
+
+This makes clone creation O(1) in pages — exactly the property that makes
+flash cloning fast in the real system, where only page tables are touched
+— and makes the host's physical memory usage
+
+    resident = image frames + Σ(per-VM overlay frames)
+
+an exact quantity rather than an estimate. Frame *contents* are modelled
+as integer version tags: the experiments depend on which pages are
+private, not on their bytes, but tags let tests verify CoW isolation
+(writer sees its own value, sharers still see the original).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, Optional, Tuple
+
+__all__ = [
+    "PAGE_SIZE",
+    "OutOfMemoryError",
+    "MachineMemory",
+    "ReferenceImage",
+    "GuestAddressSpace",
+]
+
+PAGE_SIZE = 4096
+"""Bytes per page; delta virtualization operates at this granularity."""
+
+_content_versions = itertools.count(1)
+
+
+class OutOfMemoryError(Exception):
+    """Raised when a host's physical frame pool is exhausted.
+
+    The reclamation layer treats this as the signal to evict idle VMs
+    (memory pressure is one of the paper's reclamation triggers).
+    """
+
+
+class MachineMemory:
+    """A host's pool of physical page frames.
+
+    Tracks allocation against a hard capacity; the honeyfarm's
+    VMs-per-host results come directly from this accounting.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive: {capacity_bytes!r}")
+        self.capacity_frames = capacity_bytes // PAGE_SIZE
+        self.allocated_frames = 0
+        self.peak_allocated_frames = 0
+        self.allocation_failures = 0
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity_frames * PAGE_SIZE
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self.allocated_frames * PAGE_SIZE
+
+    @property
+    def free_frames(self) -> int:
+        return self.capacity_frames - self.allocated_frames
+
+    def allocate(self, frames: int) -> None:
+        """Claim ``frames`` physical frames or raise :class:`OutOfMemoryError`."""
+        if frames < 0:
+            raise ValueError(f"cannot allocate a negative frame count: {frames!r}")
+        if self.allocated_frames + frames > self.capacity_frames:
+            self.allocation_failures += 1
+            raise OutOfMemoryError(
+                f"requested {frames} frames, only {self.free_frames} free"
+                f" of {self.capacity_frames}"
+            )
+        self.allocated_frames += frames
+        if self.allocated_frames > self.peak_allocated_frames:
+            self.peak_allocated_frames = self.allocated_frames
+
+    def free(self, frames: int) -> None:
+        """Return ``frames`` physical frames to the pool."""
+        if frames < 0:
+            raise ValueError(f"cannot free a negative frame count: {frames!r}")
+        if frames > self.allocated_frames:
+            raise ValueError(
+                f"freeing {frames} frames but only {self.allocated_frames} allocated"
+            )
+        self.allocated_frames -= frames
+
+    def can_fit(self, frames: int) -> bool:
+        return self.allocated_frames + frames <= self.capacity_frames
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<MachineMemory {self.allocated_frames}/{self.capacity_frames} frames"
+            f" ({self.allocated_bytes // (1 << 20)} MiB used)>"
+        )
+
+
+class ReferenceImage:
+    """The frozen memory image of a booted reference VM.
+
+    Allocated once on a host; every clone's base layer. ``sharers`` counts
+    attached address spaces so the image cannot be released while clones
+    still depend on it.
+    """
+
+    def __init__(self, memory: MachineMemory, page_count: int, name: str = "reference") -> None:
+        if page_count <= 0:
+            raise ValueError(f"page_count must be positive: {page_count!r}")
+        memory.allocate(page_count)
+        self.memory = memory
+        self.page_count = page_count
+        self.name = name
+        self.sharers = 0
+        self.released = False
+        # Base contents: version tag per page, fixed at snapshot time.
+        base_version = next(_content_versions)
+        self._contents: Dict[int, int] = {}
+        self._default_version = base_version
+
+    def content_of(self, page: int) -> int:
+        """Version tag of ``page`` in the frozen image."""
+        self._check_page(page)
+        return self._contents.get(page, self._default_version)
+
+    def stamp_page(self, page: int) -> None:
+        """Give ``page`` a distinct content tag (used when building a
+        snapshot whose pages must be distinguishable in tests)."""
+        self._check_page(page)
+        if self.released:
+            raise ValueError("cannot modify a released reference image")
+        self._contents[page] = next(_content_versions)
+
+    def _check_page(self, page: int) -> None:
+        if not (0 <= page < self.page_count):
+            raise IndexError(f"page {page} outside image of {self.page_count} pages")
+
+    def attach(self) -> None:
+        if self.released:
+            raise ValueError("cannot attach to a released reference image")
+        self.sharers += 1
+
+    def detach(self) -> None:
+        if self.sharers <= 0:
+            raise ValueError("detach without matching attach")
+        self.sharers -= 1
+
+    def release(self) -> None:
+        """Free the image's frames; only legal once no clones remain."""
+        if self.released:
+            return
+        if self.sharers > 0:
+            raise ValueError(f"cannot release image with {self.sharers} sharers")
+        self.memory.free(self.page_count)
+        self.released = True
+
+    @property
+    def bytes(self) -> int:
+        return self.page_count * PAGE_SIZE
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ReferenceImage {self.name!r} pages={self.page_count}"
+            f" sharers={self.sharers}>"
+        )
+
+
+class GuestAddressSpace:
+    """A VM's memory: a reference image plus a private CoW overlay.
+
+    Two construction modes mirror the system under test and its ablation:
+
+    * ``GuestAddressSpace(image)`` — **delta virtualization**: O(1)
+      creation, zero initial private frames.
+    * ``GuestAddressSpace(image, eager_copy=True)`` — the **full-copy
+      baseline**: every page is copied (and charged) up front, as a
+      conventional clone would.
+    """
+
+    def __init__(self, image: ReferenceImage, eager_copy: bool = False) -> None:
+        image.attach()
+        self.image = image
+        self.memory = image.memory
+        self.eager_copy = eager_copy
+        self._overlay: Dict[int, int] = {}
+        self.cow_faults = 0
+        self.destroyed = False
+        if eager_copy:
+            try:
+                self.memory.allocate(image.page_count)
+            except OutOfMemoryError:
+                image.detach()
+                raise
+            for page in range(image.page_count):
+                self._overlay[page] = next(_content_versions)
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+
+    @property
+    def page_count(self) -> int:
+        return self.image.page_count
+
+    def read(self, page: int) -> int:
+        """Content tag visible at ``page`` (overlay wins over base)."""
+        self._check_alive()
+        self.image._check_page(page)
+        if page in self._overlay:
+            return self._overlay[page]
+        return self.image.content_of(page)
+
+    def write(self, page: int, content: Optional[int] = None) -> int:
+        """Dirty ``page``, taking a CoW fault (and a private frame) on the
+        first write; returns the new content tag.
+
+        ``content`` pins the page's content tag: two pages (in any VMs)
+        written with the same tag hold identical bytes. Malware bodies
+        use this — the same worm writes the same code everywhere — which
+        is what content-based sharing analysis (future work in the paper,
+        quantified by :mod:`repro.analysis.dedup`) keys on. ``None``
+        means freshly generated, globally unique content.
+        """
+        self._check_alive()
+        self.image._check_page(page)
+        if page not in self._overlay:
+            self.memory.allocate(1)
+            self.cow_faults += 1
+        tag = next(_content_versions) if content is None else content
+        self._overlay[page] = tag
+        return tag
+
+    def private_page_contents(self) -> Iterator[Tuple[int, int]]:
+        """Iterate (page number, content tag) over the private overlay."""
+        return iter(self._overlay.items())
+
+    def is_private(self, page: int) -> bool:
+        """Whether ``page`` is backed by a private frame."""
+        self.image._check_page(page)
+        return page in self._overlay
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def private_pages(self) -> int:
+        """Pages backed by private frames — the VM's marginal footprint."""
+        return len(self._overlay)
+
+    @property
+    def shared_pages(self) -> int:
+        return self.image.page_count - len(self._overlay)
+
+    @property
+    def private_bytes(self) -> int:
+        return self.private_pages * PAGE_SIZE
+
+    def sharing_ratio(self) -> float:
+        """Fraction of this VM's pages still shared with the image."""
+        return self.shared_pages / self.image.page_count
+
+    def private_page_numbers(self) -> Iterator[int]:
+        return iter(self._overlay.keys())
+
+    # ------------------------------------------------------------------ #
+    # Teardown
+    # ------------------------------------------------------------------ #
+
+    def destroy(self) -> int:
+        """Release all private frames and detach from the image.
+
+        Returns the number of frames freed. Idempotent.
+        """
+        if self.destroyed:
+            return 0
+        freed = len(self._overlay)
+        self.memory.free(freed)
+        self._overlay.clear()
+        self.image.detach()
+        self.destroyed = True
+        return freed
+
+    def _check_alive(self) -> None:
+        if self.destroyed:
+            raise ValueError("address space has been destroyed")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<GuestAddressSpace private={self.private_pages}"
+            f"/{self.image.page_count} pages>"
+        )

@@ -1,0 +1,81 @@
+"""Reference snapshots: the live template every honeypot is forked from.
+
+A reference VM is booted once per host per personality (e.g. an unpatched
+Windows web server), brought to a quiescent state with services listening,
+then frozen. The snapshot owns a :class:`~repro.vmm.memory.ReferenceImage`
+(physical frames stay resident) and a shared base
+:class:`~repro.vmm.devices.DiskImage`; flash cloning forks both
+copy-on-write.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.vmm.devices import DiskImage
+from repro.vmm.memory import MachineMemory, PAGE_SIZE, ReferenceImage
+
+__all__ = ["ReferenceSnapshot", "DEFAULT_IMAGE_BYTES", "DEFAULT_DISK_BLOCKS"]
+
+DEFAULT_IMAGE_BYTES = 128 * (1 << 20)
+"""Default guest memory size: 128 MiB, the configuration the paper's
+memory-economics results are stated against."""
+
+DEFAULT_DISK_BLOCKS = 512 * 1024
+"""Default base disk: 512K blocks of 4 KiB = 2 GiB."""
+
+
+class ReferenceSnapshot:
+    """A frozen reference VM image on one host.
+
+    Parameters
+    ----------
+    memory:
+        The host frame pool the image's frames live in.
+    personality:
+        Name of the guest personality this snapshot was built from
+        (resolved against :mod:`repro.services.personality` when clones
+        are given behaviour).
+    image_bytes:
+        Guest physical memory size; rounded down to whole pages.
+    """
+
+    def __init__(
+        self,
+        memory: MachineMemory,
+        personality: str = "windows-default",
+        image_bytes: int = DEFAULT_IMAGE_BYTES,
+        disk_blocks: int = DEFAULT_DISK_BLOCKS,
+        name: Optional[str] = None,
+    ) -> None:
+        page_count = image_bytes // PAGE_SIZE
+        if page_count <= 0:
+            raise ValueError(f"image too small for one page: {image_bytes!r} bytes")
+        self.personality = personality
+        self.name = name or f"snapshot-{personality}"
+        self.image = ReferenceImage(memory, page_count, name=self.name)
+        self.disk = DiskImage(disk_blocks, name=f"{self.name}-disk")
+        self.clones_created = 0
+
+    @property
+    def page_count(self) -> int:
+        return self.image.page_count
+
+    @property
+    def image_bytes(self) -> int:
+        return self.image.bytes
+
+    @property
+    def active_clones(self) -> int:
+        """Clones whose address spaces still share this image."""
+        return self.image.sharers
+
+    def release(self) -> None:
+        """Free the snapshot's resident frames (only once clone-free)."""
+        self.image.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ReferenceSnapshot {self.name!r} {self.image_bytes >> 20} MiB"
+            f" clones={self.active_clones}>"
+        )

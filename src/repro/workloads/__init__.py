@@ -1,0 +1,50 @@
+"""Workloads: the traffic that drives the honeyfarm.
+
+The paper evaluates against live darknet traffic observed at a large
+network telescope, plus worm outbreaks. Neither is available offline, so
+this package provides calibrated synthetic equivalents (see DESIGN.md for
+the substitution argument):
+
+* :mod:`repro.workloads.trace` — a portable trace format (records,
+  JSONL reader/writer, replay into a farm).
+* :mod:`repro.workloads.telescope` — Internet background radiation:
+  heavy-tailed per-source probe sessions over dark space, with hot-port
+  structure and optional exploit-carrying sources.
+* :mod:`repro.workloads.worms` — worm specifications and an
+  Internet-scale epidemic model that feeds an outbreak's scans into the
+  telescope at the correct (growing) rate.
+* :mod:`repro.workloads.scenarios` — canned workload+farm combinations
+  used by the examples and benchmarks.
+"""
+
+from repro.workloads.scenarios import (
+    outbreak_scenario,
+    slash16_farm,
+    small_farm,
+    telescope_scenario,
+)
+from repro.workloads.telescope import TelescopeConfig, TelescopeWorkload
+from repro.workloads.trace import TraceReader, TraceRecord, TraceWriter, replay_into_farm
+from repro.workloads.worms import (
+    KNOWN_WORMS,
+    InternetOutbreak,
+    OutbreakConfig,
+    WormSpec,
+)
+
+__all__ = [
+    "InternetOutbreak",
+    "KNOWN_WORMS",
+    "OutbreakConfig",
+    "TelescopeConfig",
+    "TelescopeWorkload",
+    "TraceReader",
+    "TraceRecord",
+    "TraceWriter",
+    "WormSpec",
+    "outbreak_scenario",
+    "replay_into_farm",
+    "slash16_farm",
+    "small_farm",
+    "telescope_scenario",
+]

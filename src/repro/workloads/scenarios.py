@@ -1,0 +1,86 @@
+"""Canned scenarios: farm + workload combinations the experiments share.
+
+Each scenario returns fully-constructed objects rather than running
+anything, so benches and examples stay in control of durations and
+measurement points while agreeing on configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.config import HoneyfarmConfig
+from repro.core.honeyfarm import Honeyfarm
+from repro.workloads.telescope import TelescopeConfig, TelescopeWorkload
+from repro.workloads.worms import (
+    KNOWN_WORMS,
+    InternetOutbreak,
+    OutbreakConfig,
+    WormSpec,
+)
+
+__all__ = [
+    "slash16_farm",
+    "small_farm",
+    "telescope_scenario",
+    "outbreak_scenario",
+]
+
+
+def slash16_farm(**overrides) -> Honeyfarm:
+    """A farm covering one /16 — the paper's reference unit — on a
+    4-server cluster of 2 GiB hosts."""
+    config = HoneyfarmConfig(prefixes=("10.16.0.0/16",)).with_overrides(**overrides)
+    return Honeyfarm(config)
+
+
+def small_farm(**overrides) -> Honeyfarm:
+    """A /24 farm on one host: fast enough for tests and quickstarts
+    while exercising every code path."""
+    config = HoneyfarmConfig(
+        prefixes=("10.16.0.0/24",),
+        num_hosts=1,
+        idle_timeout_seconds=30.0,
+    ).with_overrides(**overrides)
+    return Honeyfarm(config)
+
+
+def telescope_scenario(
+    farm: Optional[Honeyfarm] = None,
+    telescope: Optional[TelescopeConfig] = None,
+    **farm_overrides,
+) -> Tuple[Honeyfarm, TelescopeWorkload]:
+    """A /16 farm plus a background-radiation workload aimed at it."""
+    farm = farm or slash16_farm(**farm_overrides)
+    workload = TelescopeWorkload(farm.config.parsed_prefixes(), telescope)
+    return farm, workload
+
+
+def outbreak_scenario(
+    worm_name: str = "codered",
+    scan_rate: Optional[float] = None,
+    farm: Optional[Honeyfarm] = None,
+    outbreak: Optional[OutbreakConfig] = None,
+    **farm_overrides,
+) -> Tuple[Honeyfarm, InternetOutbreak]:
+    """A farm under attack by a named worm's Internet-scale outbreak.
+
+    ``scan_rate`` rescales the worm (simulation-budget knob); the
+    outbreak's ``telescope_fraction`` defaults to a compressed 1e-3 so
+    the epidemic reaches the farm within simulated minutes, and the
+    in-farm copy of the worm is throttled to <= 10 scans/s so the
+    reflected epidemic stays simulable (containment behaviour is
+    rate-independent).
+    """
+    if worm_name not in KNOWN_WORMS:
+        raise ValueError(f"unknown worm {worm_name!r}; known: {sorted(KNOWN_WORMS)}")
+    worm: WormSpec = KNOWN_WORMS[worm_name]
+    if scan_rate is not None:
+        worm = worm.with_scan_rate(scan_rate)
+    farm = farm or small_farm(**farm_overrides)
+    config = outbreak or OutbreakConfig(
+        telescope_fraction=1e-3,
+        in_farm_scan_rate=min(worm.scan_rate, 10.0),
+    )
+    return farm, InternetOutbreak(farm, worm, config)

@@ -1,0 +1,357 @@
+"""Synthetic Internet background radiation for a network telescope.
+
+The paper drives its scalability analysis with traffic observed at a
+large dark-address telescope. This generator reproduces the *statistical
+structure* of that traffic — the properties the farm's VM-demand and
+concurrency results actually depend on:
+
+* **Source arrivals** are Poisson (new scanners appear at a steady rate,
+  with an optional diurnal modulation).
+* **Per-source sessions are heavy-tailed**: most sources send a handful
+  of probes, a few send thousands (bounded-Pareto session sizes) — which
+  is what makes per-source VM state hard and per-*address* recycling easy.
+* **Destinations** are either uniform over the dark space or sequential
+  sweeps (both scanner populations exist in telescope data).
+* **Each touched destination receives a small burst**, not one packet:
+  TCP scanners retransmit their SYN (dark space never answers, so the
+  scanner's stack retries on its ~3 s timer), and exploit-carrying
+  sources follow the connection with the payload. Telescope analyses see
+  this as the per-address packet multiplicity that makes the VM-demand
+  rate several times lower than the packet rate.
+* **Ports are Zipf-hot**: a few services (445, 135, 1434, 80, ...)
+  attract most probes.
+* A configurable fraction of sources carry a **real exploit** for their
+  target port, so some probes actually compromise honeypots.
+* A configurable fraction of sources are **backscatter** — victims of
+  spoofed-source DDoS answering SYN/ACKs and RSTs toward addresses that
+  never contacted them. Telescope studies attribute a large share of
+  dark-space traffic to backscatter; for the farm it is pure overhead
+  (VMs get cloned, then silently drop the unsolicited segments), which
+  is exactly why it must be modelled in VM-demand numbers.
+
+Calibration: defaults produce roughly 40–50 packets/second and ~8 new
+sources/second per /16 of dark space — inside the tens-to-hundreds pps
+range published for mid-2000s /16-scale telescopes — and every parameter
+is a config field for sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.honeyfarm import Honeyfarm
+from repro.net.addr import AddressSpaceInventory, IPAddress, Prefix
+from repro.net.packet import PROTO_TCP, PROTO_UDP
+from repro.sim.rand import RandomStream, SeedSequence
+from repro.workloads.trace import TraceRecord
+
+__all__ = ["PortProfile", "TelescopeConfig", "TelescopeWorkload"]
+
+#: (protocol, port, weight, exploit_tag or None) — the hot-port mix.
+DEFAULT_PORT_MIX: Tuple[Tuple[int, int, float, Optional[str]], ...] = (
+    (PROTO_TCP, 445, 0.24, "exploit:sasser"),
+    (PROTO_TCP, 135, 0.18, "exploit:blaster"),
+    (PROTO_TCP, 139, 0.09, None),
+    (PROTO_TCP, 80, 0.08, "exploit:codered"),
+    (PROTO_UDP, 1434, 0.06, "exploit:slammer"),
+    (PROTO_TCP, 22, 0.04, None),
+    (PROTO_TCP, 3389, 0.04, None),
+    (PROTO_TCP, 1025, 0.03, None),
+    (PROTO_TCP, 4899, 0.02, None),
+    (PROTO_UDP, 137, 0.02, None),
+)
+_OTHER_PORT_WEIGHT = 0.20  # random unpopular ports
+
+
+@dataclass(frozen=True)
+class PortProfile:
+    """A source's chosen target service."""
+
+    protocol: int
+    port: int
+    exploit_tag: Optional[str]
+
+
+@dataclass(frozen=True)
+class TelescopeConfig:
+    """Knobs for the background-radiation generator.
+
+    ``sources_per_second`` scales with telescope size: the default is per
+    /16 and :class:`TelescopeWorkload` multiplies by the number of /16
+    equivalents it is pointed at.
+    """
+
+    sources_per_second_per_slash16: float = 8.0
+    probes_min: int = 1
+    probes_max: int = 4000
+    probes_pareto_shape: float = 1.15
+    probe_rate_per_source: float = 12.0  # probes/second while a session lasts
+    sequential_sweep_fraction: float = 0.3
+    exploit_source_fraction: float = 0.35
+    backscatter_fraction: float = 0.15
+    tcp_syn_retries: int = 3       # total SYNs sent per unanswered TCP dst
+    retry_interval: float = 3.0    # TCP retransmission timer
+    exploit_payload_delay: float = 0.4  # connect -> payload gap
+    diurnal_amplitude: float = 0.0  # 0 disables; 0.3 = ±30% over 24 h
+    seed: int = 77
+
+    def __post_init__(self) -> None:
+        if self.sources_per_second_per_slash16 <= 0:
+            raise ValueError("sources_per_second_per_slash16 must be positive")
+        if not (0 < self.probes_min <= self.probes_max):
+            raise ValueError("need 0 < probes_min <= probes_max")
+        if self.probe_rate_per_source <= 0:
+            raise ValueError("probe_rate_per_source must be positive")
+        if not (0.0 <= self.sequential_sweep_fraction <= 1.0):
+            raise ValueError("sequential_sweep_fraction must be in [0, 1]")
+        if not (0.0 <= self.exploit_source_fraction <= 1.0):
+            raise ValueError("exploit_source_fraction must be in [0, 1]")
+        if not (0.0 <= self.backscatter_fraction <= 1.0):
+            raise ValueError("backscatter_fraction must be in [0, 1]")
+        if self.tcp_syn_retries < 1:
+            raise ValueError("tcp_syn_retries must be >= 1")
+        if self.retry_interval <= 0 or self.exploit_payload_delay <= 0:
+            raise ValueError("retry/payload intervals must be positive")
+        if not (0.0 <= self.diurnal_amplitude < 1.0):
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+
+
+class TelescopeWorkload:
+    """Generates background-radiation traces over the given dark space."""
+
+    def __init__(
+        self,
+        prefixes: Sequence[Prefix],
+        config: Optional[TelescopeConfig] = None,
+    ) -> None:
+        if not prefixes:
+            raise ValueError("telescope needs at least one dark prefix")
+        self.inventory = AddressSpaceInventory(prefixes)
+        self.config = config or TelescopeConfig()
+        self._seeds = SeedSequence(self.config.seed)
+
+    # ------------------------------------------------------------------ #
+    # Rates
+    # ------------------------------------------------------------------ #
+
+    @property
+    def slash16_equivalents(self) -> float:
+        return self.inventory.total_addresses / 65536.0
+
+    @property
+    def source_rate(self) -> float:
+        """New sources/second over the whole telescope."""
+        return self.config.sources_per_second_per_slash16 * self.slash16_equivalents
+
+    def expected_session_probes(self) -> float:
+        """Mean probes per source under the bounded-Pareto session model
+        (continuous approximation; integer truncation in generation runs
+        about half a probe lower)."""
+        a = self.config.probes_pareto_shape
+        low, high = float(self.config.probes_min), float(self.config.probes_max)
+        if a == 1.0:
+            return (math.log(high / low)) * low / (1.0 - low / high)
+        num = (low**a) / (1 - (low / high) ** a)
+        return num * a / (a - 1) * (low ** (1 - a) - high ** (1 - a))
+
+    def expected_burst_factor(self) -> float:
+        """Mean packets per touched destination, from the source mix.
+
+        Backscatter sends one segment per destination; scanners follow
+        the port-mix burst model (retries / exploit follow-ups).
+        """
+        retries = float(self.config.tcp_syn_retries)
+        f = self.config.exploit_source_fraction
+        scan_factor = 0.0
+        for protocol, __, weight, tag in DEFAULT_PORT_MIX:
+            if protocol == PROTO_UDP:
+                scan_factor += weight * 1.0
+            elif tag is not None:
+                scan_factor += weight * (f * 2.0 + (1.0 - f) * retries)
+            else:
+                scan_factor += weight * retries
+        scan_factor += _OTHER_PORT_WEIGHT * retries  # unpopular TCP tail
+        bs = self.config.backscatter_fraction
+        return bs * 1.0 + (1.0 - bs) * scan_factor
+
+    def expected_packets_per_second(self) -> float:
+        return (
+            self.source_rate
+            * self.expected_session_probes()
+            * self.expected_burst_factor()
+        )
+
+    def _rate_multiplier(self, t: float) -> float:
+        amp = self.config.diurnal_amplitude
+        if amp == 0.0:
+            return 1.0
+        return 1.0 + amp * math.sin(2.0 * math.pi * t / 86400.0)
+
+    # ------------------------------------------------------------------ #
+    # Generation
+    # ------------------------------------------------------------------ #
+
+    def _random_external_source(self, rng: RandomStream) -> IPAddress:
+        """A plausible external address (never inside the dark space)."""
+        while True:
+            addr = IPAddress(rng.randint(0x01000000, 0xDFFFFFFF))  # 1.0.0.0–223.x
+            if not self.inventory.covers(addr):
+                return addr
+
+    def _pick_profile(self, rng: RandomStream) -> PortProfile:
+        roll = rng.random()
+        acc = 0.0
+        for protocol, port, weight, tag in DEFAULT_PORT_MIX:
+            acc += weight
+            if roll < acc:
+                exploit = tag if rng.bernoulli(self.config.exploit_source_fraction) else None
+                return PortProfile(protocol, port, exploit)
+        # Unpopular tail: a random high port, never exploit-carrying.
+        return PortProfile(PROTO_TCP, rng.randint(1024, 65535), None)
+
+    def _backscatter_records(
+        self, rng: RandomStream, start: float, source: IPAddress
+    ) -> Iterator[TraceRecord]:
+        """One DDoS victim's responses to spoofed sources that happened
+        to fall in the dark space: SYN/ACKs (service answered) or RSTs
+        (no such service), from a well-known port, at the victim's reply
+        rate, to uniformly random dark addresses."""
+        from repro.net.packet import TcpFlags
+
+        victim_port = rng.choice([80, 443, 53, 6667, 25])
+        flags = (
+            int(TcpFlags.SYN | TcpFlags.ACK)
+            if rng.bernoulli(0.7)
+            else int(TcpFlags.RST | TcpFlags.ACK)
+        )
+        replies = int(rng.bounded_pareto(
+            self.config.probes_pareto_shape,
+            float(self.config.probes_min),
+            float(self.config.probes_max),
+        ))
+        total = self.inventory.total_addresses
+        t = start
+        for __ in range(replies):
+            dst = self.inventory.address_at_flat_index(rng.randint(0, total - 1))
+            yield TraceRecord(
+                time=t,
+                src=str(source),
+                dst=str(dst),
+                protocol=PROTO_TCP,
+                src_port=victim_port,
+                dst_port=1024 + rng.randint(0, 60000),
+                tcp_flags=flags,
+                size=40,
+            )
+            t += rng.exponential(self.config.probe_rate_per_source)
+
+    def _session_records(
+        self, rng: RandomStream, start: float, source: IPAddress
+    ) -> Iterator[TraceRecord]:
+        if rng.bernoulli(self.config.backscatter_fraction):
+            yield from self._backscatter_records(rng, start, source)
+            return
+        profile = self._pick_profile(rng)
+        probes = int(
+            rng.bounded_pareto(
+                self.config.probes_pareto_shape,
+                float(self.config.probes_min),
+                float(self.config.probes_max),
+            )
+        )
+        total = self.inventory.total_addresses
+        sweep = rng.bernoulli(self.config.sequential_sweep_fraction)
+        cursor = rng.randint(0, total - 1)
+        t = start
+        src_port = 1024 + rng.randint(0, 60000)
+        payload = profile.exploit_tag or ""
+        for i in range(probes):
+            if sweep:
+                index = (cursor + i) % total
+            else:
+                index = rng.randint(0, total - 1)
+            dst = self.inventory.address_at_flat_index(index)
+            yield from self._destination_burst(t, source, dst, profile, src_port, payload)
+            t += rng.exponential(self.config.probe_rate_per_source)
+
+    def _destination_burst(
+        self,
+        t: float,
+        source: IPAddress,
+        dst: IPAddress,
+        profile: PortProfile,
+        src_port: int,
+        payload: str,
+    ) -> Iterator[TraceRecord]:
+        """The packets one destination receives from one source.
+
+        UDP probes are single datagrams (Slammer-style). TCP probes
+        retransmit the SYN on the retry timer; exploit-carrying TCP
+        sources additionally deliver the payload after connecting.
+        """
+
+        def record(offset: float, pkt_payload: str) -> TraceRecord:
+            return TraceRecord(
+                time=t + offset,
+                src=str(source),
+                dst=str(dst),
+                protocol=profile.protocol,
+                src_port=src_port,
+                dst_port=profile.port,
+                payload=pkt_payload,
+                size=40 + len(pkt_payload),
+            )
+
+        if profile.protocol == PROTO_UDP:
+            yield record(0.0, payload)
+            return
+        if payload:
+            yield record(0.0, "")  # the connection-opening SYN
+            yield record(self.config.exploit_payload_delay, payload)
+            return
+        for retry in range(self.config.tcp_syn_retries):
+            yield record(retry * self.config.retry_interval, "")
+
+    def generate(self, duration: float, max_records: Optional[int] = None) -> List[TraceRecord]:
+        """All records with session-start inside ``[0, duration)``, sorted
+        by time. Sessions may run past ``duration``; records beyond it are
+        trimmed so the trace covers exactly the window."""
+        if duration <= 0:
+            raise ValueError(f"duration must be positive: {duration!r}")
+        arrivals = self._seeds.stream("arrivals")
+        records: List[TraceRecord] = []
+        t = 0.0
+        source_index = 0
+        while True:
+            rate = self.source_rate * self._rate_multiplier(t)
+            t += arrivals.exponential(rate)
+            if t >= duration:
+                break
+            session_rng = self._seeds.stream(f"session-{source_index}")
+            source = self._random_external_source(session_rng)
+            for record in self._session_records(session_rng, t, source):
+                if record.time < duration:
+                    records.append(record)
+            source_index += 1
+            if max_records is not None and len(records) >= max_records:
+                break
+        records.sort(key=lambda r: r.time)
+        if max_records is not None:
+            records = records[:max_records]
+        return records
+
+    def attach(self, farm: Honeyfarm, duration: float) -> int:
+        """Generate and schedule a trace directly onto ``farm``; returns
+        the number of packets scheduled."""
+        records = self.generate(duration)
+        for record in records:
+            farm.sim.schedule_at(record.time, farm.inject, record.to_packet())
+        return len(records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<TelescopeWorkload {self.inventory.total_addresses} addrs"
+            f" ~{self.expected_packets_per_second():.0f} pps>"
+        )

@@ -1,0 +1,145 @@
+"""Trace records, JSONL persistence, and replay.
+
+A trace is the interchange format between workload generation, analysis,
+and the farm: a time-ordered sequence of packet records. Generators can
+stream traces to disk (so an experiment's input is inspectable and
+re-runnable bit-for-bit) and :func:`replay_into_farm` schedules a trace's
+packets onto a farm's event clock.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import IO, Iterable, Iterator, List, Optional, Union
+
+from repro.core.honeyfarm import Honeyfarm
+from repro.net.addr import IPAddress
+from repro.net.packet import PROTO_TCP, PROTO_UDP, Packet, TcpFlags
+
+__all__ = ["TraceRecord", "TraceWriter", "TraceReader", "replay_into_farm"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One packet arrival, with addresses as dotted-quad strings so the
+    on-disk format is self-describing."""
+
+    time: float
+    src: str
+    dst: str
+    protocol: int
+    src_port: int = 0
+    dst_port: int = 0
+    payload: str = ""
+    size: int = 40
+    tcp_flags: int = 0  # 0 = infer from payload (SYN, or PSH|ACK for data)
+
+    def to_packet(self) -> Packet:
+        if self.protocol == PROTO_TCP and self.tcp_flags:
+            flags = TcpFlags(self.tcp_flags)
+        elif self.protocol == PROTO_TCP and self.payload:
+            flags = TcpFlags.PSH | TcpFlags.ACK
+        elif self.protocol == PROTO_TCP:
+            flags = TcpFlags.SYN
+        else:
+            flags = TcpFlags.NONE
+        return Packet(
+            src=IPAddress.parse(self.src),
+            dst=IPAddress.parse(self.dst),
+            protocol=self.protocol,
+            src_port=self.src_port,
+            dst_port=self.dst_port,
+            flags=flags,
+            payload=self.payload,
+            size=self.size,
+        )
+
+    @classmethod
+    def from_packet(cls, time: float, packet: Packet) -> "TraceRecord":
+        return cls(
+            time=time,
+            src=str(packet.src),
+            dst=str(packet.dst),
+            protocol=packet.protocol,
+            src_port=packet.src_port,
+            dst_port=packet.dst_port,
+            payload=packet.payload,
+            size=packet.size,
+            tcp_flags=int(packet.flags) if packet.is_tcp else 0,
+        )
+
+
+class TraceWriter:
+    """Streams records to a JSONL file (one record per line)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._fh: Optional[IO[str]] = None
+        self.records_written = 0
+
+    def __enter__(self) -> "TraceWriter":
+        self._fh = self.path.open("w")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def write(self, record: TraceRecord) -> None:
+        if self._fh is None:
+            raise ValueError("TraceWriter must be used as a context manager")
+        self._fh.write(json.dumps(asdict(record), separators=(",", ":")) + "\n")
+        self.records_written += 1
+
+    def write_all(self, records: Iterable[TraceRecord]) -> int:
+        for record in records:
+            self.write(record)
+        return self.records_written
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class TraceReader:
+    """Iterates records from a JSONL trace file."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        with self.path.open() as fh:
+            for line_no, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                    yield TraceRecord(**data)
+                except (json.JSONDecodeError, TypeError) as exc:
+                    raise ValueError(
+                        f"{self.path}:{line_no}: malformed trace record"
+                    ) from exc
+
+    def read_all(self) -> List[TraceRecord]:
+        return list(self)
+
+
+def replay_into_farm(
+    farm: Honeyfarm,
+    records: Iterable[TraceRecord],
+    time_offset: float = 0.0,
+) -> int:
+    """Schedule every record's packet for injection at its timestamp
+    (plus ``time_offset``); returns the number scheduled.
+
+    Records must not be earlier than the farm's current simulated time
+    after the offset is applied.
+    """
+    count = 0
+    for record in records:
+        farm.sim.schedule_at(record.time + time_offset, farm.inject, record.to_packet())
+        count += 1
+    return count

@@ -1,0 +1,65 @@
+"""Shared fixtures for the Potemkin reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import HoneyfarmConfig
+from repro.core.honeyfarm import Honeyfarm
+from repro.net.addr import IPAddress, Prefix
+from repro.services.personality import default_registry
+from repro.sim.engine import Simulator
+from repro.sim.rand import SeedSequence
+from repro.vmm.host import PhysicalHost
+from repro.vmm.snapshot import ReferenceSnapshot
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def seeds() -> SeedSequence:
+    return SeedSequence(42)
+
+
+@pytest.fixture
+def host() -> PhysicalHost:
+    """A 2 GiB host with a default Windows snapshot installed."""
+    host = PhysicalHost(memory_bytes=2 * (1 << 30), max_vms=512)
+    snapshot = ReferenceSnapshot(host.memory, personality="windows-default")
+    host.install_snapshot(snapshot)
+    return host
+
+
+@pytest.fixture
+def snapshot(host: PhysicalHost) -> ReferenceSnapshot:
+    return host.snapshot_for("windows-default")
+
+
+@pytest.fixture
+def registry():
+    return default_registry()
+
+
+@pytest.fixture
+def external_ip() -> IPAddress:
+    return IPAddress.parse("203.0.113.7")
+
+
+@pytest.fixture
+def small_config() -> HoneyfarmConfig:
+    """A /24 single-host farm config: every code path, small footprint."""
+    return HoneyfarmConfig(
+        prefixes=("10.16.0.0/24",),
+        num_hosts=1,
+        idle_timeout_seconds=30.0,
+        clone_jitter=0.0,
+        seed=7,
+    )
+
+
+@pytest.fixture
+def small_farm(small_config: HoneyfarmConfig) -> Honeyfarm:
+    return Honeyfarm(small_config)

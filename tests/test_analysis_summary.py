@@ -1,0 +1,82 @@
+"""Tests for the farm run-report composer."""
+
+import pytest
+
+from repro.analysis.summary import farm_run_report
+from repro.core.config import HoneyfarmConfig
+from repro.core.honeyfarm import Honeyfarm
+from repro.net.addr import IPAddress
+from repro.net.packet import PROTO_TCP, TcpFlags, tcp_packet, udp_packet
+from repro.services.guest import ScanBehavior
+
+ATTACKER = IPAddress.parse("203.0.113.4")
+TARGET = IPAddress.parse("10.16.0.9")
+
+
+class TestFarmRunReport:
+    def test_quiet_farm_report_has_core_sections(self, small_farm):
+        small_farm.run(until=1.0)
+        report = farm_run_report(small_farm)
+        for section in ("Traffic", "VM lifecycle", "Memory", "Containment"):
+            assert section in report
+        assert "Intelligence" not in report  # nothing captured
+
+    def test_report_after_traffic(self, small_farm):
+        small_farm.inject(tcp_packet(ATTACKER, TARGET, 1, 445))
+        small_farm.run(until=2.0)
+        report = farm_run_report(small_farm)
+        assert "packets in" in report
+        assert "median time-to-ready (ms)" in report
+        assert "consolidation vs full copies" in report
+
+    def test_intelligence_section_after_capture(self):
+        farm = Honeyfarm(HoneyfarmConfig(
+            prefixes=("10.16.0.0/26",), num_hosts=1,
+            containment="allow-dns", clone_jitter=0.0, seed=3,
+            detain_infected=True, idle_timeout_seconds=2.0,
+        ))
+        farm.register_worm(ScanBehavior(
+            "blaster", PROTO_TCP, 135, "exploit:blaster", scan_rate=10.0,
+            dns_lookup_first=True, dns_server=farm.dns_server.address,
+            rendezvous_domain="evil.example",
+        ))
+        farm.inject(tcp_packet(ATTACKER, TARGET, 1, 135))
+        farm.inject(tcp_packet(ATTACKER, TARGET, 1, 135,
+                               flags=TcpFlags.PSH | TcpFlags.ACK,
+                               payload="exploit:blaster"))
+        farm.run(until=20.0)
+        report = farm_run_report(farm)
+        assert "Intelligence" in report
+        assert "blaster" in report
+        assert "evil.example" in report
+        assert "VMs held for forensics" in report
+
+    def test_containment_verdict_rendered(self):
+        farm = Honeyfarm(HoneyfarmConfig(
+            prefixes=("10.16.0.0/26",), num_hosts=1,
+            containment="open", clone_jitter=0.0, seed=3,
+        ))
+        farm.register_worm(ScanBehavior(
+            "slammer", 17, 1434, "exploit:slammer", scan_rate=20.0,
+        ))
+        farm.inject(udp_packet(ATTACKER, TARGET, 1, 1434,
+                               payload="exploit:slammer"))
+        farm.run(until=5.0)
+        report = farm_run_report(farm)
+        assert "contained" in report
+        assert "no" in report.split("contained")[1].splitlines()[0]
+
+    def test_generation_spread_rendered_for_epidemic(self):
+        farm = Honeyfarm(HoneyfarmConfig(
+            prefixes=("10.16.0.0/26",), num_hosts=1,
+            containment="reflect", clone_jitter=0.0, seed=3,
+        ))
+        farm.register_worm(ScanBehavior(
+            "slammer", 17, 1434, "exploit:slammer", scan_rate=30.0,
+        ))
+        farm.inject(udp_packet(ATTACKER, TARGET, 1, 1434,
+                               payload="exploit:slammer"))
+        farm.run(until=6.0)
+        report = farm_run_report(farm)
+        assert "per generation" in report
+        assert "g0:1" in report

@@ -1,0 +1,76 @@
+"""Unit tests for HoneyfarmConfig validation and derived views."""
+
+import pytest
+
+from repro.core.config import HoneyfarmConfig
+from repro.net.addr import Prefix
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = HoneyfarmConfig()
+        assert config.prefixes == ("10.16.0.0/16",)
+        assert config.containment == "reflect"
+
+    def test_rejects_malformed_prefix(self):
+        with pytest.raises(ValueError):
+            HoneyfarmConfig(prefixes=("10.16.0.1/16",))
+
+    def test_rejects_unknown_containment(self):
+        with pytest.raises(ValueError):
+            HoneyfarmConfig(containment="yolo")
+
+    def test_rejects_unknown_clone_mode(self):
+        with pytest.raises(ValueError):
+            HoneyfarmConfig(clone_mode="teleport")
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ValueError):
+            HoneyfarmConfig(idle_timeout_seconds=0.0)
+
+    def test_rejects_nonpositive_hosts(self):
+        with pytest.raises(ValueError):
+            HoneyfarmConfig(num_hosts=0)
+
+    def test_rejects_bad_pressure_threshold(self):
+        with pytest.raises(ValueError):
+            HoneyfarmConfig(memory_pressure_threshold=1.5)
+        HoneyfarmConfig(memory_pressure_threshold=None)  # disabled is fine
+
+    def test_rejects_personality_for_unknown_prefix(self):
+        with pytest.raises(ValueError):
+            HoneyfarmConfig(
+                prefixes=("10.16.0.0/16",),
+                personality_by_prefix={"10.99.0.0/16": "linux-server"},
+            )
+
+
+class TestDerivedViews:
+    def test_parsed_prefixes(self):
+        config = HoneyfarmConfig(prefixes=("10.16.0.0/16", "10.17.0.0/16"))
+        assert config.parsed_prefixes() == (
+            Prefix.parse("10.16.0.0/16"),
+            Prefix.parse("10.17.0.0/16"),
+        )
+
+    def test_personality_for_mapped_and_default(self):
+        config = HoneyfarmConfig(
+            prefixes=("10.16.0.0/16", "10.17.0.0/16"),
+            personality_by_prefix={"10.17.0.0/16": "linux-server"},
+        )
+        assert config.personality_for(Prefix.parse("10.16.0.0/16")) == "windows-default"
+        assert config.personality_for(Prefix.parse("10.17.0.0/16")) == "linux-server"
+
+    def test_dns_address(self):
+        assert str(HoneyfarmConfig().dns_address()) == "198.18.53.53"
+
+    def test_with_overrides_returns_new_config(self):
+        base = HoneyfarmConfig()
+        tweaked = base.with_overrides(idle_timeout_seconds=5.0)
+        assert tweaked.idle_timeout_seconds == 5.0
+        assert base.idle_timeout_seconds == 60.0
+        assert tweaked.prefixes == base.prefixes
+
+    def test_with_overrides_validates(self):
+        with pytest.raises(ValueError):
+            HoneyfarmConfig().with_overrides(containment="nope")

@@ -1,0 +1,172 @@
+"""Unit tests for vulnerabilities, personalities, and the DNS responder."""
+
+import pytest
+
+from repro.net.addr import IPAddress
+from repro.net.packet import PROTO_TCP, PROTO_UDP, tcp_packet, udp_packet
+from repro.services.dns import DnsServer
+from repro.services.personality import Personality, PersonalityRegistry, default_registry
+from repro.services.vulnerabilities import (
+    ServiceDef,
+    Vulnerability,
+    VulnerabilityCatalog,
+)
+
+SRC = IPAddress.parse("203.0.113.1")
+DST = IPAddress.parse("10.16.0.5")
+
+
+class TestVulnerability:
+    def test_triggered_by_matching_packet(self):
+        vuln = Vulnerability("slammer", PROTO_UDP, 1434, "exploit:slammer")
+        hit = udp_packet(SRC, DST, 4000, 1434, payload="exploit:slammer")
+        assert vuln.triggered_by(hit)
+
+    def test_not_triggered_by_wrong_port(self):
+        vuln = Vulnerability("slammer", PROTO_UDP, 1434, "exploit:slammer")
+        miss = udp_packet(SRC, DST, 4000, 1435, payload="exploit:slammer")
+        assert not vuln.triggered_by(miss)
+
+    def test_not_triggered_by_wrong_payload(self):
+        vuln = Vulnerability("slammer", PROTO_UDP, 1434, "exploit:slammer")
+        miss = udp_packet(SRC, DST, 4000, 1434, payload="exploit:blaster")
+        assert not vuln.triggered_by(miss)
+
+    def test_not_triggered_by_wrong_protocol(self):
+        vuln = Vulnerability("slammer", PROTO_UDP, 1434, "exploit:slammer")
+        miss = tcp_packet(SRC, DST, 4000, 1434, payload="exploit:slammer")
+        assert not vuln.triggered_by(miss)
+
+    def test_exploit_tag_prefix_enforced(self):
+        with pytest.raises(ValueError):
+            Vulnerability("x", PROTO_TCP, 80, "not-an-exploit")
+
+    def test_negative_infection_pages_rejected(self):
+        with pytest.raises(ValueError):
+            Vulnerability("x", PROTO_TCP, 80, "exploit:x", infection_pages=-1)
+
+
+class TestVulnerabilityCatalog:
+    def test_default_catalog_contents(self):
+        catalog = VulnerabilityCatalog.default()
+        assert set(catalog.names()) == {
+            "slammer", "blaster", "codered", "sasser", "nimda", "witty",
+        }
+        assert len(catalog) == 6
+
+    def test_match_finds_the_right_vuln(self):
+        catalog = VulnerabilityCatalog.default()
+        packet = tcp_packet(SRC, DST, 1, 445, payload="exploit:sasser")
+        match = catalog.match(packet)
+        assert match is not None and match.name == "sasser"
+
+    def test_match_returns_none_for_benign_traffic(self):
+        catalog = VulnerabilityCatalog.default()
+        assert catalog.match(tcp_packet(SRC, DST, 1, 445, payload="hello")) is None
+        assert catalog.match(tcp_packet(SRC, DST, 1, 9999, payload="exploit:sasser")) is None
+
+    def test_duplicate_name_rejected(self):
+        catalog = VulnerabilityCatalog.default()
+        with pytest.raises(ValueError):
+            catalog.register(Vulnerability("slammer", PROTO_UDP, 9, "exploit:slammer"))
+
+    def test_two_vulns_one_endpoint(self):
+        catalog = VulnerabilityCatalog()
+        catalog.register(Vulnerability("a", PROTO_TCP, 80, "exploit:a"))
+        catalog.register(Vulnerability("b", PROTO_TCP, 80, "exploit:b"))
+        assert catalog.match(tcp_packet(SRC, DST, 1, 80, payload="exploit:b")).name == "b"
+
+    def test_contains(self):
+        assert "slammer" in VulnerabilityCatalog.default()
+        assert "nonsense" not in VulnerabilityCatalog.default()
+
+
+class TestPersonality:
+    def test_default_registry_personalities(self, registry):
+        assert set(registry.names()) == {
+            "windows-default", "windows-patched", "windows-iss", "linux-server",
+        }
+
+    def test_windows_listens_on_expected_ports(self, registry):
+        windows = registry.get("windows-default")
+        assert windows.listens_on(PROTO_TCP, 445)
+        assert windows.listens_on(PROTO_UDP, 1434)
+        assert not windows.listens_on(PROTO_TCP, 22)
+
+    def test_linux_has_no_catalog_vulnerabilities(self, registry):
+        linux = registry.get("linux-server")
+        assert linux.vulnerabilities(registry.catalog) == []
+
+    def test_patched_windows_same_surface_no_flaws(self, registry):
+        patched = registry.get("windows-patched")
+        assert patched.listens_on(PROTO_TCP, 445)
+        assert patched.listens_on(PROTO_UDP, 1434)
+        assert patched.vulnerabilities(registry.catalog) == []
+
+    def test_windows_vulnerabilities_resolve(self, registry):
+        windows = registry.get("windows-default")
+        names = {v.name for v in windows.vulnerabilities(registry.catalog)}
+        assert names == {"slammer", "blaster", "codered", "sasser", "nimda"}
+
+    def test_duplicate_service_endpoint_rejected(self):
+        with pytest.raises(ValueError):
+            Personality(
+                name="bad",
+                services=(
+                    ServiceDef("a", PROTO_TCP, 80),
+                    ServiceDef("b", PROTO_TCP, 80),
+                ),
+                vulnerability_names=(),
+            )
+
+    def test_registry_rejects_unknown_vulnerability(self):
+        registry = PersonalityRegistry()
+        with pytest.raises(ValueError):
+            registry.register(
+                Personality("bad", services=(), vulnerability_names=("no-such-vuln",))
+            )
+
+    def test_registry_rejects_duplicates(self, registry):
+        with pytest.raises(ValueError):
+            registry.register(Personality("windows-default", services=(),
+                                          vulnerability_names=()))
+
+    def test_service_validation(self):
+        with pytest.raises(ValueError):
+            ServiceDef("bad", 99, 80)  # not TCP/UDP
+        with pytest.raises(ValueError):
+            ServiceDef("bad", PROTO_TCP, 0)
+
+    def test_negative_memory_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Personality("bad", services=(), vulnerability_names=(),
+                        base_working_set_pages=-1)
+
+
+class TestDnsServer:
+    @pytest.fixture
+    def dns(self):
+        return DnsServer(IPAddress.parse("198.18.53.53"))
+
+    def test_answers_udp53_query(self, dns):
+        query = udp_packet(DST, dns.address, 5000, 53, payload="dns:query")
+        answer = dns.handle_query(query)
+        assert answer is not None
+        assert answer.src == dns.address and answer.dst == DST
+        assert answer.payload.startswith("dns:answer:")
+        assert dns.queries_answered == 1
+
+    def test_ignores_wrong_port(self, dns):
+        assert dns.handle_query(udp_packet(DST, dns.address, 5000, 80)) is None
+
+    def test_ignores_wrong_destination(self, dns):
+        other = IPAddress.parse("8.8.8.8")
+        assert dns.handle_query(udp_packet(DST, other, 5000, 53)) is None
+
+    def test_ignores_tcp(self, dns):
+        assert dns.handle_query(tcp_packet(DST, dns.address, 5000, 53)) is None
+
+    def test_query_log_collects_intelligence(self, dns):
+        for i in range(3):
+            dns.handle_query(udp_packet(DST, dns.address, 5000 + i, 53, payload=f"q{i}"))
+        assert [p.payload for p in dns.query_log] == ["q0", "q1", "q2"]

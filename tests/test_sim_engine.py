@@ -1,0 +1,181 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_custom_start_time(self):
+        assert Simulator(start_time=100.0).now == 100.0
+
+    def test_events_fire_in_time_order(self, sim):
+        fired = []
+        sim.schedule(2.0, fired.append, "b")
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(3.0, fired.append, "c")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_equal_timestamps_fire_in_insertion_order(self, sim):
+        fired = []
+        for name in "abcde":
+            sim.schedule(1.0, fired.append, name)
+        sim.run()
+        assert fired == list("abcde")
+
+    def test_clock_advances_to_event_time(self, sim):
+        times = []
+        sim.schedule(1.5, lambda: times.append(sim.now))
+        sim.schedule(4.25, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [1.5, 4.25]
+        assert sim.now == 4.25
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_schedule_at_current_time_allowed(self, sim):
+        fired = []
+        sim.schedule(5.0, lambda: sim.schedule_at(5.0, fired.append, "x"))
+        sim.run()
+        assert fired == ["x"]
+
+    def test_call_now_runs_after_current_event(self, sim):
+        order = []
+
+        def outer():
+            order.append("outer")
+            sim.call_now(order.append, "inner")
+            order.append("outer-end")
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert order == ["outer", "outer-end", "inner"]
+
+    def test_events_scheduled_during_run_execute(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, fired.append, "nested"))
+        sim.run()
+        assert fired == ["nested"]
+        assert sim.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+
+    def test_cancelled_event_does_not_advance_clock(self, sim):
+        event = sim.schedule(10.0, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        event.cancel()
+        sim.run()
+        assert sim.now == 1.0
+
+    def test_cancel_during_run(self, sim):
+        fired = []
+        later = sim.schedule(2.0, fired.append, "later")
+        sim.schedule(1.0, later.cancel)
+        sim.run()
+        assert fired == []
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(10.0, fired.append, "late")
+        sim.run(until=5.0)
+        assert fired == ["early"]
+        assert sim.pending == 1
+
+    def test_run_until_advances_clock_even_without_events(self, sim):
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_event_exactly_at_until_fires(self, sim):
+        fired = []
+        sim.schedule(5.0, fired.append, "edge")
+        sim.run(until=5.0)
+        assert fired == ["edge"]
+
+    def test_run_resumes_after_until(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(10.0, fired.append, "b")
+        sim.run(until=5.0)
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_max_events_bounds_execution(self, sim):
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i + 1), fired.append, i)
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_step_returns_false_on_empty_queue(self, sim):
+        assert sim.step() is False
+
+    def test_step_executes_single_event(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "x")
+        sim.schedule(2.0, fired.append, "y")
+        assert sim.step() is True
+        assert fired == ["x"]
+
+    def test_events_processed_counter(self, sim):
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_reentrant_run_rejected(self, sim):
+        def reenter():
+            sim.run()
+
+        sim.schedule(1.0, reenter)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_reset_clears_queue_and_clock(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.schedule(5.0, lambda: None)
+        sim.reset()
+        assert sim.now == 0.0
+        assert sim.pending == 0
+        assert sim.events_processed == 0
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_interleavings(self):
+        def run_once():
+            sim = Simulator()
+            log = []
+            for i in range(50):
+                sim.schedule((i * 7) % 13 * 0.1, log.append, i)
+            sim.run()
+            return log
+
+        assert run_once() == run_once()

@@ -1,0 +1,195 @@
+"""Unit tests for generator-based simulation processes."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.process import Sleep, WaitEvent, spawn
+
+
+class TestSleep:
+    def test_sleep_advances_clock(self, sim):
+        log = []
+
+        def proc():
+            log.append(sim.now)
+            yield Sleep(2.5)
+            log.append(sim.now)
+
+        spawn(sim, proc())
+        sim.run()
+        assert log == [0.0, 2.5]
+
+    def test_zero_sleep_allowed(self, sim):
+        log = []
+
+        def proc():
+            yield Sleep(0.0)
+            log.append(sim.now)
+
+        spawn(sim, proc())
+        sim.run()
+        assert log == [0.0]
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError):
+            Sleep(-1.0)
+
+    def test_sequential_sleeps_accumulate(self, sim):
+        log = []
+
+        def proc():
+            for __ in range(3):
+                yield Sleep(1.0)
+                log.append(sim.now)
+
+        spawn(sim, proc())
+        sim.run()
+        assert log == [1.0, 2.0, 3.0]
+
+
+class TestWaitEvent:
+    def test_waiter_resumes_on_trigger(self, sim):
+        gate = WaitEvent()
+        log = []
+
+        def waiter():
+            value = yield gate
+            log.append((sim.now, value))
+
+        def firer():
+            yield Sleep(3.0)
+            gate.trigger("go")
+
+        spawn(sim, waiter())
+        spawn(sim, firer())
+        sim.run()
+        assert log == [(3.0, "go")]
+
+    def test_multiple_waiters_all_resume(self, sim):
+        gate = WaitEvent()
+        log = []
+
+        def waiter(name):
+            yield gate
+            log.append(name)
+
+        spawn(sim, waiter("a"))
+        spawn(sim, waiter("b"))
+        sim.schedule(1.0, gate.trigger)
+        sim.run()
+        assert sorted(log) == ["a", "b"]
+
+    def test_trigger_before_wait_latches(self, sim):
+        gate = WaitEvent()
+        gate.trigger("early")
+        log = []
+
+        def waiter():
+            value = yield gate
+            log.append(value)
+
+        spawn(sim, waiter())
+        sim.run()
+        assert log == ["early"]
+
+    def test_double_trigger_keeps_first_value(self, sim):
+        gate = WaitEvent()
+        gate.trigger("first")
+        gate.trigger("second")
+        assert gate.value == "first"
+
+
+class TestProcessLifecycle:
+    def test_result_and_completion_callback(self, sim):
+        done = []
+
+        def proc():
+            yield Sleep(1.0)
+            return 42
+
+        p = spawn(sim, proc(), on_complete=done.append)
+        sim.run()
+        assert p.finished
+        assert p.result == 42
+        assert done == [42]
+
+    def test_cancel_prevents_resumption(self, sim):
+        log = []
+
+        def proc():
+            yield Sleep(5.0)
+            log.append("never")
+
+        p = spawn(sim, proc())
+        sim.schedule(1.0, p.cancel)
+        sim.run()
+        assert log == []
+        assert p.cancelled
+        assert p.finished
+
+    def test_cancel_suppresses_completion_callback(self, sim):
+        done = []
+
+        def proc():
+            yield Sleep(5.0)
+
+        p = spawn(sim, proc(), on_complete=done.append)
+        sim.schedule(1.0, p.cancel)
+        sim.run()
+        assert done == []
+
+    def test_self_cancellation_from_within_call_chain(self, sim):
+        """A process may trigger an action that cancels itself; the
+        engine must drop it at the next yield without error (regression:
+        pressure eviction killing the scanning guest mid-scan)."""
+        log = []
+        holder = {}
+
+        def proc():
+            log.append("step1")
+            holder["p"].cancel()  # cancel self while executing
+            yield Sleep(1.0)
+            log.append("never")
+
+        holder["p"] = spawn(sim, proc())
+        sim.run()
+        assert log == ["step1"]
+        assert holder["p"].cancelled
+
+    def test_cancel_finished_process_is_noop(self, sim):
+        def proc():
+            yield Sleep(0.0)
+
+        p = spawn(sim, proc())
+        sim.run()
+        p.cancel()
+        assert p.finished
+        assert not p.cancelled  # completed normally before the cancel
+
+    def test_invalid_yield_raises(self, sim):
+        def proc():
+            yield "not-a-command"
+
+        spawn(sim, proc())
+        with pytest.raises(TypeError):
+            sim.run()
+
+    def test_interleaving_of_two_processes(self, sim):
+        log = []
+
+        def proc(name, period):
+            for __ in range(3):
+                yield Sleep(period)
+                log.append((name, sim.now))
+
+        spawn(sim, proc("fast", 1.0))
+        spawn(sim, proc("slow", 2.5))
+        sim.run()
+        assert log == [
+            ("fast", 1.0),
+            ("fast", 2.0),
+            ("slow", 2.5),
+            ("fast", 3.0),
+            ("slow", 5.0),
+            ("slow", 7.5),
+        ]

@@ -1,0 +1,85 @@
+"""Tests for telescope traffic characterisation."""
+
+import pytest
+
+from repro.analysis.telescope_stats import characterize_trace
+from repro.net.packet import PROTO_TCP, PROTO_UDP, TcpFlags
+from repro.workloads.trace import TraceRecord
+
+
+def record(time, src, dst="10.16.0.1", port=445, payload="",
+           protocol=PROTO_TCP, tcp_flags=0):
+    return TraceRecord(time=time, src=src, dst=dst, protocol=protocol,
+                       src_port=1000, dst_port=port, payload=payload,
+                       tcp_flags=tcp_flags)
+
+
+class TestCharacterizeTrace:
+    def test_counts_sources_destinations_packets(self):
+        records = [
+            record(0.0, "1.1.1.1", dst="10.16.0.1"),
+            record(1.0, "1.1.1.1", dst="10.16.0.2"),
+            record(2.0, "2.2.2.2", dst="10.16.0.1"),
+        ]
+        profile = characterize_trace(records, duration=10.0)
+        assert profile.total_packets == 3
+        assert profile.unique_sources == 2
+        assert profile.unique_destinations == 2
+        assert profile.packets_per_second == pytest.approx(0.3)
+
+    def test_source_arrival_series_is_cumulative(self):
+        records = [
+            record(0.0, "1.1.1.1"),
+            record(1.0, "1.1.1.1"),
+            record(5.0, "2.2.2.2"),
+        ]
+        profile = characterize_trace(records, duration=10.0)
+        assert list(profile.source_arrival_series) == [(0.0, 1), (5.0, 2)]
+
+    def test_session_size_distribution(self):
+        records = [record(float(i), "1.1.1.1") for i in range(9)]
+        records.append(record(9.5, "2.2.2.2"))
+        profile = characterize_trace(records, duration=10.0)
+        assert profile.session_sizes.count == 2
+        assert profile.mean_session_packets == pytest.approx(5.0)
+        assert profile.session_sizes.max == 9.0
+
+    def test_port_ranking_and_concentration(self):
+        records = (
+            [record(0.0, f"1.1.1.{i}", port=445) for i in range(6)]
+            + [record(1.0, f"2.2.2.{i}", port=80) for i in range(3)]
+            + [record(2.0, "3.3.3.3", port=1434, protocol=PROTO_UDP)]
+        )
+        profile = characterize_trace(records, duration=10.0)
+        assert profile.top_ports[0] == ("tcp/445", 6)
+        assert profile.top_ports[1] == ("tcp/80", 3)
+        assert ("udp/1434", 1) in profile.top_ports
+        assert profile.hot_port_concentration(top_n=1) == pytest.approx(0.6)
+
+    def test_exploit_and_backscatter_counting(self):
+        records = [
+            record(0.0, "1.1.1.1", payload="exploit:sasser"),
+            record(1.0, "2.2.2.2",
+                   tcp_flags=int(TcpFlags.SYN | TcpFlags.ACK)),
+            record(2.0, "3.3.3.3",
+                   tcp_flags=int(TcpFlags.RST | TcpFlags.ACK)),
+            record(3.0, "4.4.4.4"),  # plain scan
+        ]
+        profile = characterize_trace(records, duration=10.0)
+        assert profile.exploit_packets == 1
+        assert profile.backscatter_packets == 2
+
+    def test_render_contains_sections(self):
+        profile = characterize_trace([record(0.0, "1.1.1.1")], duration=1.0)
+        rendered = profile.render()
+        assert "Telescope traffic characterisation" in rendered
+        assert "Busiest target services" in rendered
+
+    def test_empty_trace(self):
+        profile = characterize_trace([], duration=10.0)
+        assert profile.total_packets == 0
+        assert profile.hot_port_concentration() == 0.0
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ValueError):
+            characterize_trace([], duration=0.0)
