@@ -1,0 +1,178 @@
+"""Fast-path performance harness.
+
+Measures the costs this repo's perf work targets, end to end, and writes
+machine-readable results for regression tracking:
+
+* ``BENCH_gateway.json`` — per-packet dispatch microbenchmarks:
+  - **hot path**: an established flow to a RUNNING VM, including the
+    guest's synchronous reply and the egress containment decision;
+  - **stray path**: a packet outside every registered prefix (the
+    binary-search rejection path);
+  - **packet storm**: a full fixed-seed telescope scenario through a
+    4-host farm (clone pipeline, flow table, reclamation sweeps, heap
+    compaction), reported as wall seconds and events/second.
+* ``BENCH_sweeps.json`` — the parallel grid sweeps (see
+  ``sweep_runner.py``).
+
+Run::
+
+    PYTHONPATH=src python benchmarks/perf_harness.py [--smoke] [--skip-sweeps]
+
+``--smoke`` shrinks iteration counts so CI finishes in seconds; the JSON
+shape is identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.config import HoneyfarmConfig
+from repro.core.honeyfarm import Honeyfarm
+from repro.net.addr import IPAddress
+from repro.net.packet import tcp_packet
+from repro.workloads.telescope import TelescopeConfig, TelescopeWorkload
+from repro.workloads.trace import replay_into_farm
+
+REPORT_DIR = Path(__file__).resolve().parent / "reports"
+
+HOT_ITERATIONS = 200_000
+HOT_ITERATIONS_SMOKE = 20_000
+STORM_DURATION = 120.0
+STORM_DURATION_SMOKE = 20.0
+
+
+def _quiet_farm() -> Honeyfarm:
+    """A farm with timers pushed out of the measurement window, so the
+    loop below times the dispatch path and nothing else."""
+    return Honeyfarm(HoneyfarmConfig(
+        prefixes=("10.16.0.0/16",),
+        num_hosts=4,
+        idle_timeout_seconds=1e6,
+        flow_idle_timeout_seconds=1e6,
+        sweep_interval_seconds=1e5,
+        clone_jitter=0.0,
+        seed=3,
+    ))
+
+
+def bench_dispatch(iterations: int) -> Dict[str, Any]:
+    """Microbenchmark the two per-packet decision paths."""
+    farm = _quiet_farm()
+    attacker = IPAddress.parse("203.0.113.123")
+    target = IPAddress.parse("10.16.0.77")
+    farm.inject(tcp_packet(attacker, target, 1, 445))
+    farm.run(until=2.0)  # let the clone finish so the VM is RUNNING
+
+    process_inbound = farm.gateway.process_inbound
+    hot_packet = tcp_packet(attacker, target, 2, 445)
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        process_inbound(hot_packet)
+    hot_wall = time.perf_counter() - t0
+
+    stray_packet = tcp_packet(attacker, IPAddress.parse("172.16.0.1"), 2, 445)
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        process_inbound(stray_packet)
+    stray_wall = time.perf_counter() - t0
+
+    return {
+        "iterations": iterations,
+        "hot_path": {
+            "us_per_packet": round(hot_wall / iterations * 1e6, 4),
+            "packets_per_second": round(iterations / hot_wall),
+        },
+        "stray_path": {
+            "us_per_packet": round(stray_wall / iterations * 1e6, 4),
+            "packets_per_second": round(iterations / stray_wall),
+        },
+    }
+
+
+def bench_packet_storm(duration: float) -> Dict[str, Any]:
+    """Wall-time a full fixed-seed telescope scenario through a farm."""
+    farm = Honeyfarm(HoneyfarmConfig(
+        prefixes=("10.16.0.0/16",),
+        num_hosts=4,
+        idle_timeout_seconds=60.0,
+        flow_idle_timeout_seconds=60.0,
+        sweep_interval_seconds=5.0,
+        clone_jitter=0.01,
+        containment="reflect",
+        seed=11,
+    ))
+    workload = TelescopeWorkload(
+        list(farm.inventory.prefixes), TelescopeConfig(seed=202)
+    )
+    records = workload.generate(duration)
+    t0 = time.perf_counter()
+    replay_into_farm(farm, records)
+    farm.run(until=duration)
+    wall = time.perf_counter() - t0
+    return {
+        "sim_duration_seconds": duration,
+        "trace_packets": len(records),
+        "wall_seconds": round(wall, 4),
+        "events_processed": farm.sim.events_processed,
+        "events_per_second": round(farm.sim.events_processed / wall),
+        "heap_compactions": farm.sim.compactions,
+        "live_vms_final": farm.live_vms,
+        "flows_expired": farm.gateway.flows.expired_total,
+    }
+
+
+def run_gateway_bench(smoke: bool = False) -> Dict[str, Any]:
+    iterations = HOT_ITERATIONS_SMOKE if smoke else HOT_ITERATIONS
+    duration = STORM_DURATION_SMOKE if smoke else STORM_DURATION
+    return {
+        "config": {"smoke": smoke},
+        "dispatch": bench_dispatch(iterations),
+        "packet_storm": bench_packet_storm(duration),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small iteration counts for CI")
+    parser.add_argument("--skip-sweeps", action="store_true",
+                        help="only write BENCH_gateway.json")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool size for the sweeps (default: all cores)")
+    args = parser.parse_args(argv)
+
+    REPORT_DIR.mkdir(exist_ok=True)
+    doc = run_gateway_bench(smoke=args.smoke)
+    gateway_out = REPORT_DIR / "BENCH_gateway.json"
+    gateway_out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {gateway_out}")
+    dispatch = doc["dispatch"]
+    print(f"  hot path:   {dispatch['hot_path']['us_per_packet']} us/pkt"
+          f" ({dispatch['hot_path']['packets_per_second']:,} pps)")
+    print(f"  stray path: {dispatch['stray_path']['us_per_packet']} us/pkt"
+          f" ({dispatch['stray_path']['packets_per_second']:,} pps)")
+    storm = doc["packet_storm"]
+    print(f"  storm:      {storm['trace_packets']} pkts /"
+          f" {storm['events_processed']} events in {storm['wall_seconds']}s"
+          f" ({storm['events_per_second']:,} events/s,"
+          f" {storm['heap_compactions']} compactions)")
+
+    if not args.skip_sweeps:
+        import sweep_runner
+
+        sweeps_out = sweep_runner.write_sweeps(
+            smoke=args.smoke, workers=args.workers
+        )
+        print(f"wrote {sweeps_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

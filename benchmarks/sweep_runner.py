@@ -1,0 +1,228 @@
+"""Parallel sweep runner for the grid-shaped experiments.
+
+Two of the repo's experiments are *sweeps* — independent simulation or
+analysis points over a parameter grid:
+
+* **F-CONC** — exact concurrency-vs-idle-timeout curves computed from one
+  telescope trace (``repro.analysis.concurrency.sweep_timeouts``).
+* **A-ABL2** — reclamation-policy ablation: one full farm run per
+  memory-pressure threshold on a deliberately small host.
+
+Every point is a pure function of its inputs (fixed workload seed, fixed
+farm seed, each worker builds its own deterministic ``Simulator``), so the
+grid fans out over a ``multiprocessing`` pool with **bit-identical**
+results to a sequential run: ``Pool.map`` returns in submission order, and
+no state is shared between points. ``--workers 1`` (or a single-core box)
+degrades to the sequential path with the same output.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/sweep_runner.py [--smoke] [--workers N]
+
+or let ``perf_harness.py`` drive it. Results land in
+``benchmarks/reports/BENCH_sweeps.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.concurrency import sweep_timeouts
+from repro.core.config import HoneyfarmConfig
+from repro.core.honeyfarm import Honeyfarm
+from repro.net.addr import IPAddress, Prefix
+from repro.net.packet import TcpFlags, tcp_packet
+from repro.workloads.telescope import TelescopeConfig, TelescopeWorkload
+
+REPORT_DIR = Path(__file__).resolve().parent / "reports"
+
+# F-CONC grid (matches bench_concurrency_vs_timeout.py).
+CONC_PREFIX = "10.16.0.0/16"
+CONC_SEED = 202
+CONC_TIMEOUTS = [1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0]
+CONC_DURATION = 600.0
+CONC_DURATION_SMOKE = 60.0
+
+# A-ABL2 grid (policy axis extends bench_reclamation_policies.py).
+ABL_SEED = 27
+ABL_THRESHOLDS: List[Optional[float]] = [None, 0.7, 0.85, 0.95]
+ABL_DURATION = 30.0
+ABL_DURATION_SMOKE = 10.0
+ABL_ADDRESSES = 256
+ABL_ADDRESSES_SMOKE = 96
+
+_ATTACKER = "203.0.113.200"
+_ABL_BASE = "10.16.0.0"
+_PSH_ACK = TcpFlags.PSH | TcpFlags.ACK
+
+
+# ---------------------------------------------------------------------- #
+# F-CONC: timeout sweep over one shared trace
+# ---------------------------------------------------------------------- #
+
+def run_concurrency_sweep(
+    duration: float, workers: int
+) -> List[Dict[str, Any]]:
+    """Concurrency curve points for the /16 telescope trace."""
+    workload = TelescopeWorkload(
+        [Prefix.parse(CONC_PREFIX)], TelescopeConfig(seed=CONC_SEED)
+    )
+    records = workload.generate(duration)
+    results = sweep_timeouts(records, CONC_TIMEOUTS, workers=workers)
+    return [
+        {
+            "idle_timeout_seconds": r.timeout,
+            "peak_vms": r.peak_vms,
+            "mean_vms": round(r.mean_vms, 4),
+            "vm_instantiations": r.vm_instantiations,
+            "trace_packets": len(records),
+        }
+        for r in results
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# A-ABL2: one deterministic farm run per reclamation policy point
+# ---------------------------------------------------------------------- #
+
+def _run_reclamation_point(args: Tuple[Optional[float], float, int]) -> Dict[str, Any]:
+    """Worker: build a fresh seeded farm, replay the burst, summarize.
+
+    Module-level (picklable) and self-contained: each pool worker
+    constructs its own Simulator and farm from the fixed seed, so the
+    outcome is independent of which process runs which point.
+    """
+    threshold, duration, addresses = args
+    farm = Honeyfarm(HoneyfarmConfig(
+        prefixes=("10.16.0.0/24",),
+        num_hosts=1,
+        host_memory_bytes=264 << 20,
+        max_vms_per_host=4096,
+        idle_timeout_seconds=3600.0,   # fidelity-first idle policy
+        memory_pressure_threshold=threshold,
+        sweep_interval_seconds=0.5,
+        clone_jitter=0.0,
+        seed=ABL_SEED,
+    ))
+    attacker = IPAddress.parse(_ATTACKER)
+    base = IPAddress.parse(_ABL_BASE).value
+    for i in range(addresses):
+        dst = IPAddress(base + i)
+        t = 0.02 * i
+        farm.sim.schedule_at(t, farm.inject, tcp_packet(attacker, dst, 1024 + i, 445))
+        for j in range(4):
+            farm.sim.schedule_at(
+                t + 0.6 + 0.1 * j, farm.inject,
+                tcp_packet(attacker, dst, 1024 + i, 445,
+                           flags=_PSH_ACK, payload=f"req-{j}"),
+            )
+    farm.run(until=duration)
+    counters = farm.metrics.counters()
+    host = farm.hosts[0]
+    return {
+        "policy": "idle-only" if threshold is None else f"idle+pressure@{threshold:g}",
+        "pressure_threshold": threshold,
+        "reactive_oom_evictions": counters.get("farm.pressure_evictions", 0),
+        "proactive_sweep_reclaims": counters.get("farm.sweep_reclaims", 0),
+        "capacity_drops": counters.get("gateway.no_capacity_drop", 0),
+        "peak_memory_utilization": round(
+            host.memory.peak_allocated_frames / host.memory.capacity_frames, 4
+        ),
+        "live_vms": farm.live_vms,
+        "events_processed": farm.sim.events_processed,
+    }
+
+
+def run_reclamation_sweep(
+    duration: float, addresses: int, workers: int
+) -> List[Dict[str, Any]]:
+    """Policy ablation points, in the fixed ABL_THRESHOLDS order."""
+    points = [(t, duration, addresses) for t in ABL_THRESHOLDS]
+    if workers > 1 and len(points) > 1:
+        with multiprocessing.Pool(processes=min(workers, len(points))) as pool:
+            return pool.map(_run_reclamation_point, points, chunksize=1)
+    return [_run_reclamation_point(p) for p in points]
+
+
+# ---------------------------------------------------------------------- #
+# Entry point
+# ---------------------------------------------------------------------- #
+
+def run_sweeps(smoke: bool = False, workers: Optional[int] = None) -> Dict[str, Any]:
+    """Run both sweeps; returns the JSON-ready result document."""
+    if workers is None:
+        workers = os.cpu_count() or 1
+    conc_duration = CONC_DURATION_SMOKE if smoke else CONC_DURATION
+    abl_duration = ABL_DURATION_SMOKE if smoke else ABL_DURATION
+    abl_addresses = ABL_ADDRESSES_SMOKE if smoke else ABL_ADDRESSES
+
+    t0 = time.perf_counter()
+    concurrency = run_concurrency_sweep(conc_duration, workers)
+    conc_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    reclamation = run_reclamation_sweep(abl_duration, abl_addresses, workers)
+    abl_wall = time.perf_counter() - t0
+
+    return {
+        "config": {
+            "smoke": smoke,
+            "workers": workers,
+            "concurrency": {
+                "prefix": CONC_PREFIX,
+                "seed": CONC_SEED,
+                "duration_seconds": conc_duration,
+                "timeouts": CONC_TIMEOUTS,
+            },
+            "reclamation": {
+                "seed": ABL_SEED,
+                "duration_seconds": abl_duration,
+                "addresses": abl_addresses,
+                "thresholds": ABL_THRESHOLDS,
+            },
+        },
+        "concurrency_vs_timeout": concurrency,
+        "reclamation_policies": reclamation,
+        "wall_seconds": {
+            "concurrency_sweep": round(conc_wall, 3),
+            "reclamation_sweep": round(abl_wall, 3),
+        },
+    }
+
+
+def write_sweeps(smoke: bool = False, workers: Optional[int] = None) -> Path:
+    REPORT_DIR.mkdir(exist_ok=True)
+    doc = run_sweeps(smoke=smoke, workers=workers)
+    out = REPORT_DIR / "BENCH_sweeps.json"
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    return out
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="short grids for CI (seconds, not minutes)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool size (default: all cores)")
+    args = parser.parse_args(argv)
+    out = write_sweeps(smoke=args.smoke, workers=args.workers)
+    doc = json.loads(out.read_text())
+    print(f"wrote {out}")
+    print(f"  concurrency sweep: {len(doc['concurrency_vs_timeout'])} points"
+          f" in {doc['wall_seconds']['concurrency_sweep']}s")
+    print(f"  reclamation sweep: {len(doc['reclamation_policies'])} points"
+          f" in {doc['wall_seconds']['reclamation_sweep']}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

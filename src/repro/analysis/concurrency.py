@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.metrics import TimeSeries
 from repro.workloads.trace import TraceRecord
@@ -103,13 +103,49 @@ def concurrency_for_timeout(
     )
 
 
+# Per-worker state for the multiprocessing sweep: the parsed trace is
+# shipped once per worker (via the pool initializer), not once per timeout.
+_worker_records: Sequence[TraceRecord] = ()
+_worker_sample_interval: float = 1.0
+
+
+def _init_sweep_worker(
+    records: Sequence[TraceRecord], sample_interval: float
+) -> None:
+    global _worker_records, _worker_sample_interval
+    _worker_records = records
+    _worker_sample_interval = sample_interval
+
+
+def _sweep_one(timeout: float) -> ConcurrencyResult:
+    return concurrency_for_timeout(
+        _worker_records, timeout, _worker_sample_interval
+    )
+
+
 def sweep_timeouts(
     records: Sequence[TraceRecord],
     timeouts: Sequence[float],
     sample_interval: float = 1.0,
+    workers: Optional[int] = None,
 ) -> List[ConcurrencyResult]:
-    """Concurrency results across a timeout grid (the F-CONC figure)."""
+    """Concurrency results across a timeout grid (the F-CONC figure).
+
+    ``workers`` > 1 fans the (independent, read-only) timeout points out
+    over a process pool. Each point is a pure function of the trace, so
+    the output is identical to the sequential sweep — results come back
+    in ``timeouts`` order regardless of which worker finishes first.
+    """
     materialized = list(records)
+    if workers is not None and workers > 1 and len(timeouts) > 1:
+        import multiprocessing
+
+        with multiprocessing.Pool(
+            processes=min(workers, len(timeouts)),
+            initializer=_init_sweep_worker,
+            initargs=(materialized, sample_interval),
+        ) as pool:
+            return pool.map(_sweep_one, timeouts, chunksize=1)
     return [
         concurrency_for_timeout(materialized, timeout, sample_interval)
         for timeout in timeouts

@@ -22,11 +22,17 @@ mechanisms (VMs), while the gateway holds all four roles:
 The backend (normally :class:`~repro.core.honeyfarm.Honeyfarm`) provides
 ``spawn_vm(ip)`` and ``deliver(vm, packet)``; the gateway provides
 ``vm_ready(vm)`` / ``vm_retired(vm)`` in return.
+
+The per-packet decision path is deliberately allocation-free and O(1)-ish
+(O(log prefixes) for membership): counters are pre-resolved handles,
+inventory and tunnel ownership are binary searches over sorted ranges,
+and the flow table maintains its own indexes — see ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Protocol
+import bisect
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
 from repro.core.containment import (
     ContainmentAction,
@@ -35,7 +41,7 @@ from repro.core.containment import (
     ReflectionNat,
 )
 from repro.net.addr import AddressSpaceInventory, IPAddress, Prefix
-from repro.net.flow import FlowTable
+from repro.net.flow import FlowRecord, FlowTable
 from repro.net.gre import GrePacket, GreTunnel, decapsulate, encapsulate
 from repro.net.link import Link
 from repro.net.packet import Packet
@@ -86,10 +92,42 @@ class Gateway:
         self.packet_tap = packet_tap
         self.nat = ReflectionNat()
         self.vm_map: Dict[IPAddress, VirtualMachine] = {}
-        self._pending: Dict[IPAddress, List[Packet]] = {}
+        # Packets held while a clone is in flight, each with the flow
+        # record that already accounted it (observed exactly once).
+        self._pending: Dict[IPAddress, List[Tuple[Packet, FlowRecord]]] = {}
         self._tunnels: Dict[int, GreTunnel] = {}
         self._tunnel_links: Dict[int, Link] = {}
         self._tunnel_by_prefix: Dict[Prefix, int] = {}
+        # Sorted, non-overlapping address ranges for O(log n) reply-tunnel
+        # ownership on the egress path.
+        self._tunnel_starts: List[int] = []
+        self._tunnel_ends: List[int] = []
+        self._tunnel_range_keys: List[int] = []
+
+        # Counter handles, resolved once: per-packet increments are a
+        # single attribute store, never a string-keyed registry lookup.
+        handle = self.metrics.handle
+        self._c_tunnel_in = handle("gateway.tunnel_in")
+        self._c_packets_in = handle("gateway.packets_in")
+        self._c_ttl_expired = handle("gateway.ttl_expired")
+        self._c_stray = handle("gateway.stray")
+        self._c_no_capacity = handle("gateway.no_capacity_drop")
+        self._c_clones_requested = handle("gateway.clones_requested")
+        self._c_queued_during_clone = handle("gateway.queued_during_clone")
+        self._c_pending_overflow = handle("gateway.pending_overflow")
+        self._c_vm_not_running = handle("gateway.dropped_vm_not_running")
+        self._c_delivered = handle("gateway.delivered")
+        self._c_vm_packets_out = handle("gateway.vm_packets_out")
+        self._c_out_allowed = handle("gateway.outbound.allowed")
+        self._c_out_dropped = handle("gateway.outbound.dropped")
+        self._c_out_dns_redirected = handle("gateway.outbound.dns_redirected")
+        self._c_out_reflected = handle("gateway.outbound.reflected")
+        self._c_reply_allowed = handle("gateway.outbound.reply_allowed")
+        self._c_initiated_external = handle("gateway.initiated_external_out")
+        self._c_reply_external = handle("gateway.reply_external_out")
+        self._c_external_out = handle("gateway.external_out")
+        self._c_dns_malformed = handle("gateway.dns_malformed")
+        self._c_dns_answered = handle("gateway.dns_answered")
 
     # ------------------------------------------------------------------ #
     # Tunnel configuration
@@ -103,7 +141,12 @@ class Gateway:
     ) -> None:
         """Associate a tunnel with the prefixes whose replies return
         through it; ``return_link`` carries encapsulated replies back to
-        the border router (optional in pure-simulation setups)."""
+        the border router (optional in pure-simulation setups).
+
+        Tunnel prefixes must be in the farm inventory and must not overlap
+        a prefix already bound to any tunnel — reply ownership has to be
+        unambiguous for the egress path's range search to be exact.
+        """
         if tunnel.key in self._tunnels:
             raise ValueError(f"tunnel key {tunnel.key} already registered")
         self._tunnels[tunnel.key] = tunnel
@@ -112,12 +155,28 @@ class Gateway:
         for prefix in prefixes:
             if self.inventory.lookup(prefix.network) is None:
                 raise ValueError(f"tunnel prefix {prefix} is not in the farm inventory")
+            start = prefix.network.value
+            end = start + prefix.size - 1
+            i = bisect.bisect_left(self._tunnel_starts, start)
+            if i > 0 and self._tunnel_ends[i - 1] >= start:
+                raise ValueError(
+                    f"tunnel prefix {prefix} overlaps an already-registered"
+                    f" tunnel prefix"
+                )
+            if i < len(self._tunnel_starts) and self._tunnel_starts[i] <= end:
+                raise ValueError(
+                    f"tunnel prefix {prefix} overlaps an already-registered"
+                    f" tunnel prefix"
+                )
+            self._tunnel_starts.insert(i, start)
+            self._tunnel_ends.insert(i, end)
+            self._tunnel_range_keys.insert(i, tunnel.key)
             self._tunnel_by_prefix[prefix] = tunnel.key
 
     def _tunnel_key_for(self, addr: IPAddress) -> Optional[int]:
-        for prefix, key in self._tunnel_by_prefix.items():
-            if prefix.contains(addr):
-                return key
+        i = bisect.bisect_right(self._tunnel_starts, addr.value) - 1
+        if i >= 0 and addr.value <= self._tunnel_ends[i]:
+            return self._tunnel_range_keys[i]
         return None
 
     # ------------------------------------------------------------------ #
@@ -126,19 +185,19 @@ class Gateway:
 
     def receive_tunnel(self, gre: GrePacket) -> None:
         """Entry point for GRE traffic from border routers."""
-        self.metrics.counter("gateway.tunnel_in").increment()
+        self._c_tunnel_in.increment()
         self.process_inbound(decapsulate(gre))
 
     def process_inbound(self, packet: Packet) -> None:
         """Dispatch one packet addressed into the farm's dark space."""
-        self.metrics.counter("gateway.packets_in").increment()
+        self._c_packets_in.increment()
         if self.packet_tap is not None:
             self.packet_tap(packet)
         if packet.ttl <= 0:
-            self.metrics.counter("gateway.ttl_expired").increment()
+            self._c_ttl_expired.increment()
             return
         if not self.inventory.covers(packet.dst):
-            self.metrics.counter("gateway.stray").increment()
+            self._c_stray.increment()
             return
         record, __ = self.flows.observe(packet, self.sim.now)
 
@@ -146,30 +205,30 @@ class Gateway:
         if vm is None:
             vm = self.backend.spawn_vm(packet.dst)
             if vm is None:
-                self.metrics.counter("gateway.no_capacity_drop").increment()
+                self._c_no_capacity.increment()
                 return
-            self.metrics.counter("gateway.clones_requested").increment()
+            self._c_clones_requested.increment()
             self.vm_map[packet.dst] = vm
             if vm.state is not VMState.RUNNING:
                 # Normal case: the clone pipeline is in flight; hold the
                 # packet until vm_ready flushes it.
-                self._pending[packet.dst] = [packet]
-                self.metrics.counter("gateway.queued_during_clone").increment()
+                self._pending[packet.dst] = [(packet, record)]
+                self._c_queued_during_clone.increment()
                 return
         if vm.state is VMState.CLONING:
             queue = self._pending.setdefault(packet.dst, [])
             if len(queue) >= self.max_pending_per_ip:
-                self.metrics.counter("gateway.pending_overflow").increment()
+                self._c_pending_overflow.increment()
                 return
-            queue.append(packet)
-            self.metrics.counter("gateway.queued_during_clone").increment()
+            queue.append((packet, record))
+            self._c_queued_during_clone.increment()
             return
         if vm.state is not VMState.RUNNING:
             # Momentary window between reclamation and map cleanup.
-            self.metrics.counter("gateway.dropped_vm_not_running").increment()
+            self._c_vm_not_running.increment()
             return
         record.vm_id = vm.vm_id
-        self.metrics.counter("gateway.delivered").increment()
+        self._c_delivered.increment()
         self.backend.deliver(vm, packet)
 
     # ------------------------------------------------------------------ #
@@ -177,14 +236,18 @@ class Gateway:
     # ------------------------------------------------------------------ #
 
     def vm_ready(self, vm: VirtualMachine) -> None:
-        """Flush packets queued while ``vm`` was cloning."""
+        """Flush packets queued while ``vm`` was cloning.
+
+        Each queued packet was already observed by the flow table when it
+        arrived; the flush reuses that record rather than observing again
+        (which would double-count the packet's flow statistics).
+        """
         queued = self._pending.pop(vm.ip, [])
-        for packet in queued:
+        for packet, record in queued:
             if vm.state is not VMState.RUNNING:
                 break
-            record, __ = self.flows.observe(packet, self.sim.now)
             record.vm_id = vm.vm_id
-            self.metrics.counter("gateway.delivered").increment()
+            self._c_delivered.increment()
             self.backend.deliver(vm, packet)
 
     def vm_retired(self, vm: VirtualMachine) -> None:
@@ -202,7 +265,7 @@ class Gateway:
 
     def emit_from_vm(self, vm: VirtualMachine, packet: Packet) -> None:
         """Handle one packet emitted by a honeypot VM."""
-        self.metrics.counter("gateway.vm_packets_out").increment()
+        self._c_vm_packets_out.increment()
 
         # Internal resolver traffic is farm infrastructure, not egress.
         if self.dns_server is not None and packet.dst == self.dns_server.address:
@@ -217,20 +280,20 @@ class Gateway:
         # Honeypot-initiated traffic: the containment policy decides.
         verdict = self.policy.decide(vm, packet, self.sim.now)
         if verdict.action is ContainmentAction.ALLOW:
-            self.metrics.counter("gateway.outbound.allowed").increment()
+            self._c_out_allowed.increment()
             if self.inventory.covers(packet.dst):
                 self.process_inbound(packet.decremented_ttl())
             else:
-                self.metrics.counter("gateway.initiated_external_out").increment()
+                self._c_initiated_external.increment()
                 self._send_external(packet)
         elif verdict.action is ContainmentAction.DROP:
-            self.metrics.counter("gateway.outbound.dropped").increment()
+            self._c_out_dropped.increment()
         elif verdict.action is ContainmentAction.REDIRECT_DNS:
-            self.metrics.counter("gateway.outbound.dns_redirected").increment()
+            self._c_out_dns_redirected.increment()
             self._deliver_dns(vm, packet, original_resolver=packet.dst)
         elif verdict.action is ContainmentAction.REFLECT:
             assert verdict.new_destination is not None
-            self.metrics.counter("gateway.outbound.reflected").increment()
+            self._c_out_reflected.increment()
             self.nat.record(vm.ip, verdict.new_destination, packet.dst)
             reflected = packet.with_destination(verdict.new_destination)
             self.process_inbound(reflected.decremented_ttl())
@@ -240,18 +303,18 @@ class Gateway:
     def _emit_reply(self, vm: VirtualMachine, packet: Packet) -> None:
         """Reply on an externally- or peer-initiated flow: always allowed,
         routed externally or internally by destination."""
-        self.metrics.counter("gateway.outbound.reply_allowed").increment()
+        self._c_reply_allowed.increment()
         if self.inventory.covers(packet.dst):
             translated = self.nat.translate_reply_source(packet)
             self.process_inbound(translated.decremented_ttl())
         else:
-            self.metrics.counter("gateway.reply_external_out").increment()
+            self._c_reply_external.increment()
             self._send_external(packet)
 
     def _send_external(self, packet: Packet) -> None:
         """Ship a permitted packet to the Internet through the tunnel that
         owns its (impersonated) source address."""
-        self.metrics.counter("gateway.external_out").increment()
+        self._c_external_out.increment()
         key = self._tunnel_key_for(packet.src)
         link = self._tunnel_links.get(key) if key is not None else None
         if key is not None and link is not None:
@@ -273,7 +336,7 @@ class Gateway:
         guest cannot tell the difference.
         """
         if self.dns_server is None:
-            self.metrics.counter("gateway.outbound.dropped").increment()
+            self._c_out_dropped.increment()
             return
         query = (
             packet
@@ -282,7 +345,7 @@ class Gateway:
         )
         response = self.dns_server.handle_query(query)
         if response is None:
-            self.metrics.counter("gateway.dns_malformed").increment()
+            self._c_dns_malformed.increment()
             return
         if original_resolver is not None:
             response = Packet(
@@ -294,7 +357,7 @@ class Gateway:
                 payload=response.payload,
                 size=response.size,
             )
-        self.metrics.counter("gateway.dns_answered").increment()
+        self._c_dns_answered.increment()
         # Small, fixed resolver turnaround before the answer reaches the VM.
         self.sim.schedule(0.001, self._deliver_dns_response, vm, response)
 

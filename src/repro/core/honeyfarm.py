@@ -103,6 +103,9 @@ class Honeyfarm:
                     )
                 )
             self.hosts.append(host)
+        self._hosts_by_id: Dict[int, PhysicalHost] = {
+            host.host_id: host for host in self.hosts
+        }
 
         policy = make_policy(
             self.config.containment, self.inventory, self.config.outbound_rate_limit
@@ -143,6 +146,13 @@ class Honeyfarm:
         self._pool_parking_counter = 0
         self._pool_started = False
         self._live_gauge = self.metrics.gauge("farm.live_vms", time=self.sim.now)
+        # Hot-path metric handles, resolved once (see docs/PERFORMANCE.md).
+        self._c_vms_spawned = self.metrics.handle("farm.vms_spawned")
+        self._c_deliver_to_dead_vm = self.metrics.handle("farm.deliver_to_dead_vm")
+        self._c_infections = self.metrics.handle("farm.infections")
+        self._c_vms_reclaimed = self.metrics.handle("farm.vms_reclaimed")
+        self._live_series = self.metrics.series("farm.live_vms_series")
+        self._infections_series = self.metrics.series("farm.infections_series")
 
     def _needed_personalities(self) -> List[str]:
         names = self.config.all_personalities()
@@ -262,10 +272,8 @@ class Honeyfarm:
             pooled = self._take_from_pool(ip, personality)
             if pooled is not None:
                 self._live_gauge.adjust(1, self.sim.now)
-                self.metrics.series("farm.live_vms_series").record(
-                    self.sim.now, self._live_gauge.value
-                )
-                self.metrics.counter("farm.vms_spawned").increment()
+                self._live_series.record(self.sim.now, self._live_gauge.value)
+                self._c_vms_spawned.increment()
                 return pooled
             self.metrics.counter("farm.pool_misses").increment()
         host = self._pick_host(personality)
@@ -281,16 +289,14 @@ class Honeyfarm:
         except (HostCapacityError, OutOfMemoryError):
             return None
         self._live_gauge.adjust(1, self.sim.now)
-        self.metrics.series("farm.live_vms_series").record(
-            self.sim.now, self._live_gauge.value
-        )
-        self.metrics.counter("farm.vms_spawned").increment()
+        self._live_series.record(self.sim.now, self._live_gauge.value)
+        self._c_vms_spawned.increment()
         return vm
 
     def deliver(self, vm: VirtualMachine, packet: Packet) -> None:
         guest: Optional[GuestHost] = vm.guest
         if guest is None or vm.state is not VMState.RUNNING:
-            self.metrics.counter("farm.deliver_to_dead_vm").increment()
+            self._c_deliver_to_dead_vm.increment()
             return
         self._propagate_generation(guest, packet)
         replies = guest.handle_packet(packet, self.sim.now)
@@ -340,10 +346,8 @@ class Honeyfarm:
 
     def _record_infection(self, record: InfectionRecord) -> None:
         self.infections.append(record)
-        self.metrics.counter("farm.infections").increment()
-        self.metrics.series("farm.infections_series").record(
-            self.sim.now, len(self.infections)
-        )
+        self._c_infections.increment()
+        self._infections_series.record(self.sim.now, len(self.infections))
         for listener in self.infection_listeners:
             listener(record)
 
@@ -352,10 +356,10 @@ class Honeyfarm:
     # ------------------------------------------------------------------ #
 
     def _host_by_id(self, host_id: Optional[int]) -> PhysicalHost:
-        for host in self.hosts:
-            if host.host_id == host_id:
-                return host
-        raise KeyError(f"no host with id {host_id}")
+        try:
+            return self._hosts_by_id[host_id]
+        except KeyError:
+            raise KeyError(f"no host with id {host_id}") from None
 
     def _pick_host(self, personality: str) -> Optional[PhysicalHost]:
         """Delegate to the configured placement policy."""
@@ -398,11 +402,9 @@ class Honeyfarm:
             guest.stop()
         self.gateway.vm_retired(vm)
         host.evict(vm, self.sim.now)
-        self.metrics.counter("farm.vms_reclaimed").increment()
+        self._c_vms_reclaimed.increment()
         self._live_gauge.adjust(-1, self.sim.now)
-        self.metrics.series("farm.live_vms_series").record(
-            self.sim.now, self._live_gauge.value
-        )
+        self._live_series.record(self.sim.now, self._live_gauge.value)
 
     def _detain(self, host: PhysicalHost, vm: VirtualMachine) -> None:
         guest: Optional[GuestHost] = vm.guest

@@ -12,6 +12,7 @@ can allocate honeypot identities inside each prefix.
 
 from __future__ import annotations
 
+import bisect
 from typing import Iterable, Iterator, List, Optional, Tuple
 
 __all__ = ["IPAddress", "Prefix", "AddressSpaceInventory"]
@@ -71,7 +72,9 @@ class IPAddress:
         return self.value <= other.value
 
     def __hash__(self) -> int:
-        return hash(self.value)
+        # The raw value is its own hash (ints hash to themselves), saving a
+        # call on the per-packet path where addresses key every dict.
+        return self.value
 
     def offset(self, delta: int) -> "IPAddress":
         """The address ``delta`` positions away (may be negative)."""
@@ -88,7 +91,7 @@ class Prefix:
     65536
     """
 
-    __slots__ = ("network", "length")
+    __slots__ = ("network", "length", "_mask_value", "_size")
 
     def __init__(self, network: IPAddress, length: int) -> None:
         if not (0 <= length <= 32):
@@ -100,6 +103,9 @@ class Prefix:
             )
         object.__setattr__(self, "network", network)
         object.__setattr__(self, "length", length)
+        # Precomputed: mask/size sit on the per-packet membership path.
+        object.__setattr__(self, "_mask_value", mask)
+        object.__setattr__(self, "_size", 1 << (32 - length))
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Prefix is immutable")
@@ -118,12 +124,12 @@ class Prefix:
 
     @property
     def mask(self) -> int:
-        return self._mask(self.length)
+        return self._mask_value
 
     @property
     def size(self) -> int:
         """Number of addresses covered."""
-        return 1 << (32 - self.length)
+        return self._size
 
     @property
     def first(self) -> IPAddress:
@@ -131,10 +137,10 @@ class Prefix:
 
     @property
     def last(self) -> IPAddress:
-        return IPAddress(self.network.value + self.size - 1)
+        return IPAddress(self.network.value + self._size - 1)
 
     def contains(self, addr: IPAddress) -> bool:
-        return (addr.value & self.mask) == self.network.value
+        return (addr.value & self._mask_value) == self.network.value
 
     def address_at(self, index: int) -> IPAddress:
         """The ``index``-th address inside the prefix (0-based)."""
@@ -178,23 +184,50 @@ class AddressSpaceInventory:
 
     The gateway consults this on every packet: traffic to an address
     outside every registered prefix is not honeyfarm traffic and is
-    counted and dropped. Lookup is a linear scan over prefixes, which is
-    exact and fast for the handful-to-hundreds of prefixes a real
-    deployment carries (the paper's testbed tunnelled 64 /16s).
+    counted and dropped. Registered prefixes never overlap, so membership
+    is a binary search over prefix ranges sorted by start address —
+    O(log n) per packet however many /16s the farm impersonates — and
+    :meth:`flat_index` adds one precomputed cumulative base instead of
+    summing prefix sizes per call.
     """
 
     def __init__(self, prefixes: Optional[Iterable[Prefix]] = None) -> None:
+        # Registration order (defines the flat-index layout):
         self._prefixes: List[Prefix] = []
+        self._flat_bases: List[int] = []  # cumulative base per registered prefix
+        self._total = 0
+        # Sorted-by-start parallel arrays for binary-search membership:
+        self._starts: List[int] = []
+        self._ends: List[int] = []  # inclusive last address per range
+        self._sorted_prefixes: List[Prefix] = []
+        self._sorted_bases: List[int] = []  # flat base of the range's prefix
         for prefix in prefixes or []:
             self.add(prefix)
 
     def add(self, prefix: Prefix) -> None:
         """Register a diverted prefix; overlapping registrations are
         rejected to keep the address→VM mapping unambiguous."""
-        for existing in self._prefixes:
-            if existing.overlaps(prefix):
-                raise ValueError(f"{prefix} overlaps already-registered {existing}")
+        start = prefix.network.value
+        end = start + prefix.size - 1
+        i = bisect.bisect_left(self._starts, start)
+        # Prefixes either nest or are disjoint, so overlap can only be
+        # with the nearest range on either side of the insertion point.
+        if i > 0 and self._ends[i - 1] >= start:
+            raise ValueError(
+                f"{prefix} overlaps already-registered {self._sorted_prefixes[i - 1]}"
+            )
+        if i < len(self._starts) and self._starts[i] <= end:
+            raise ValueError(
+                f"{prefix} overlaps already-registered {self._sorted_prefixes[i]}"
+            )
+        base = self._total
         self._prefixes.append(prefix)
+        self._flat_bases.append(base)
+        self._total += prefix.size
+        self._starts.insert(i, start)
+        self._ends.insert(i, end)
+        self._sorted_prefixes.insert(i, prefix)
+        self._sorted_bases.insert(i, base)
 
     @property
     def prefixes(self) -> Tuple[Prefix, ...]:
@@ -203,39 +236,39 @@ class AddressSpaceInventory:
     @property
     def total_addresses(self) -> int:
         """Total dark addresses the farm impersonates."""
-        return sum(p.size for p in self._prefixes)
+        return self._total
 
     def lookup(self, addr: IPAddress) -> Optional[Prefix]:
         """The registered prefix covering ``addr``, or None."""
-        for prefix in self._prefixes:
-            if prefix.contains(addr):
-                return prefix
+        i = bisect.bisect_right(self._starts, addr.value) - 1
+        if i >= 0 and addr.value <= self._ends[i]:
+            return self._sorted_prefixes[i]
         return None
 
     def covers(self, addr: IPAddress) -> bool:
-        return self.lookup(addr) is not None
+        i = bisect.bisect_right(self._starts, addr.value) - 1
+        return i >= 0 and addr.value <= self._ends[i]
 
     def flat_index(self, addr: IPAddress) -> int:
         """A dense 0-based index over all registered addresses, in
         registration order — used to map addresses onto the vulnerable-host
         bitmap in epidemic experiments."""
-        base = 0
-        for prefix in self._prefixes:
-            if prefix.contains(addr):
-                return base + prefix.index_of(addr)
-            base += prefix.size
+        value = addr.value
+        i = bisect.bisect_right(self._starts, value) - 1
+        if i >= 0 and value <= self._ends[i]:
+            return self._sorted_bases[i] + (value - self._starts[i])
         raise ValueError(f"{addr} is not in any registered prefix")
 
     def address_at_flat_index(self, index: int) -> IPAddress:
         """Inverse of :meth:`flat_index`."""
         if index < 0:
             raise IndexError(f"negative flat index: {index}")
-        remaining = index
-        for prefix in self._prefixes:
-            if remaining < prefix.size:
-                return prefix.address_at(remaining)
-            remaining -= prefix.size
-        raise IndexError(f"flat index {index} beyond inventory of {self.total_addresses}")
+        if index >= self._total:
+            raise IndexError(f"flat index {index} beyond inventory of {self._total}")
+        # Bases are strictly increasing in registration order, so the
+        # owning prefix is the rightmost base at or below the index.
+        i = bisect.bisect_right(self._flat_bases, index) - 1
+        return self._prefixes[i].address_at(index - self._flat_bases[i])
 
     def __len__(self) -> int:
         return len(self._prefixes)

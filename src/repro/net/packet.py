@@ -51,15 +51,23 @@ class TcpFlags(IntFlag):
 
     @property
     def is_syn(self) -> bool:
-        """A connection-initiating SYN (SYN set, ACK clear)."""
-        return bool(self & TcpFlags.SYN) and not (self & TcpFlags.ACK)
+        """A connection-initiating SYN (SYN set, ACK clear).
+
+        Works on the raw int value: ``IntFlag.__and__`` constructs a new
+        flag member per call, which is measurable on the per-packet path.
+        """
+        return (self._value_ & 0x12) == 0x02  # SYN without ACK
 
     @property
     def is_synack(self) -> bool:
-        return bool(self & TcpFlags.SYN) and bool(self & TcpFlags.ACK)
+        return (self._value_ & 0x12) == 0x12  # SYN and ACK both set
+
+    @property
+    def has_rst(self) -> bool:
+        return bool(self._value_ & 0x04)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One simulated IP packet.
 

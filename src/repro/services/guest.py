@@ -57,6 +57,12 @@ ICMP_DEST_UNREACHABLE = 3
 #: forever (a synchronous packet storm the first prototype hit).
 _RESPONSE_PREFIXES = ("banner:", "dns:answer")
 
+# Flag combinations the TCP answer path stamps on every reply; IntFlag's
+# ``|`` constructs a new member per call, so build each combination once.
+_SYN_ACK = TcpFlags.SYN | TcpFlags.ACK
+_RST_ACK = TcpFlags.RST | TcpFlags.ACK
+_PSH_ACK = TcpFlags.PSH | TcpFlags.ACK
+
 
 def _is_response_payload(payload: str) -> bool:
     return payload.startswith(_RESPONSE_PREFIXES)
@@ -371,7 +377,7 @@ class GuestHost:
         # A SYN/ACK (or RST) answering a connection this guest initiated:
         # the connection is up, deliver the queued payload on it.
         if packet.dst_port in self._pending_followups and (
-            packet.flags.is_synack or packet.flags & TcpFlags.RST
+            packet.flags.is_synack or packet.flags.has_rst
         ):
             dst_port, payload, size = self._pending_followups.pop(packet.dst_port)
             if packet.flags.is_synack:
@@ -381,7 +387,7 @@ class GuestHost:
                     protocol=PROTO_TCP,
                     src_port=packet.dst_port,
                     dst_port=dst_port,
-                    flags=TcpFlags.PSH | TcpFlags.ACK,
+                    flags=_PSH_ACK,
                     payload=payload,
                     size=size,
                 )
@@ -391,10 +397,10 @@ class GuestHost:
         if packet.flags.is_syn:
             if service is None:
                 rst = packet.reply_template()
-                rst.flags = TcpFlags.RST | TcpFlags.ACK
+                rst.flags = _RST_ACK
                 return [self._account_out(rst)]
             synack = packet.reply_template()
-            synack.flags = TcpFlags.SYN | TcpFlags.ACK
+            synack.flags = _SYN_ACK
             return [self._account_out(synack)]
         if service is None:
             return []  # mid-stream segment to a closed port: silently drop
@@ -408,7 +414,7 @@ class GuestHost:
             infected_now = self._maybe_infect(packet, now)
             if not infected_now and service.banner:
                 banner = packet.reply_template(payload=f"banner:{service.banner}")
-                banner.flags = TcpFlags.PSH | TcpFlags.ACK
+                banner.flags = _PSH_ACK
                 banner.size = 40 + len(service.banner)
                 replies.append(self._account_out(banner))
         return replies

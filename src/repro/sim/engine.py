@@ -35,7 +35,7 @@ class Event:
     back whenever a VM receives another packet.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
 
     def __init__(
         self,
@@ -49,14 +49,21 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Prevent this event from firing.
 
         Cancelling an already-fired or already-cancelled event is a no-op;
-        the event is lazily discarded when the loop pops it.
+        the event is lazily discarded when the loop pops it (or earlier,
+        if the owning simulator compacts its heap).
         """
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            sim._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -82,12 +89,18 @@ class Simulator:
     1.5
     """
 
+    #: Compaction never triggers below this queue size — rebuilding a tiny
+    #: heap costs more bookkeeping than the dead events it would remove.
+    COMPACTION_MIN_QUEUE = 64
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self._running = False
         self._events_processed = 0
+        self._cancelled_in_heap = 0
+        self._compactions = 0
 
     # ------------------------------------------------------------------ #
     # Clock
@@ -107,6 +120,49 @@ class Simulator:
     def pending(self) -> int:
         """Number of events still in the queue (including cancelled ones)."""
         return len(self._queue)
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled events still occupying heap slots."""
+        return self._cancelled_in_heap
+
+    @property
+    def compactions(self) -> int:
+        """How many times the heap has been compacted."""
+        return self._compactions
+
+    # ------------------------------------------------------------------ #
+    # Heap hygiene
+    # ------------------------------------------------------------------ #
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` while the event sits in the heap.
+
+        Idle-timer push-back cancels one event per packet, so cancelled
+        events would otherwise pile up and inflate every heap operation to
+        O(log dead). Once the dead fraction crosses one half (and the heap
+        is big enough to care), rebuild without them: events carry a strict
+        (time, seq) total order, so re-heapifying cannot change firing
+        order.
+        """
+        self._cancelled_in_heap += 1
+        if (
+            len(self._queue) >= self.COMPACTION_MIN_QUEUE
+            and self._cancelled_in_heap * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        self._queue = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_in_heap = 0
+        self._compactions += 1
+
+    def _discard_head(self) -> None:
+        """Pop a cancelled event off the heap and forget it."""
+        event = heapq.heappop(self._queue)
+        event._sim = None
+        self._cancelled_in_heap -= 1
 
     # ------------------------------------------------------------------ #
     # Scheduling
@@ -131,6 +187,7 @@ class Simulator:
                 f"cannot schedule at t={time!r}; clock is already at {self._now!r}"
             )
         event = Event(float(time), next(self._seq), callback, args)
+        event._sim = self
         heapq.heappush(self._queue, event)
         return event
 
@@ -150,9 +207,11 @@ class Simulator:
         Cancelled events are discarded without advancing the clock.
         """
         while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+            if self._queue[0].cancelled:
+                self._discard_head()
                 continue
+            event = heapq.heappop(self._queue)
+            event._sim = None  # fired; a late cancel() must not touch the heap count
             self._now = event.time
             self._events_processed += 1
             event.callback(*event.args)
@@ -162,10 +221,13 @@ class Simulator:
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run until the queue drains, ``until`` is reached, or ``max_events``.
 
-        When ``until`` is given, the clock is advanced to exactly ``until``
-        even if the last event fired earlier, so time-based metrics close
-        their final interval consistently. Events scheduled at exactly
-        ``until`` still fire.
+        When ``until`` is given, the clock is advanced on **every** exit
+        path, so time-based metrics close their final interval
+        consistently: to exactly ``until`` when the queue drained or only
+        later events remain, and — when ``max_events`` stops the loop with
+        earlier events still pending — to the next pending event's time
+        (never past it, so the clock cannot run backwards on resume).
+        Events scheduled at exactly ``until`` still fire.
         """
         if self._running:
             raise SimulationError("simulator is already running (reentrant run())")
@@ -174,25 +236,41 @@ class Simulator:
         try:
             while self._queue:
                 if max_events is not None and executed >= max_events:
-                    return
+                    break
                 head = self._queue[0]
                 if head.cancelled:
-                    heapq.heappop(self._queue)
+                    self._discard_head()
                     continue
                 if until is not None and head.time > until:
                     break
                 self.step()
                 executed += 1
-            if until is not None and until > self._now:
-                self._now = until
+            if until is not None and self._now < until:
+                next_time = self._next_pending_time()
+                target = until if next_time is None else min(until, next_time)
+                if target > self._now:
+                    self._now = target
         finally:
             self._running = False
 
+    def _next_pending_time(self) -> Optional[float]:
+        """Time of the next live event, discarding dead heads en route."""
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                self._discard_head()
+                continue
+            return head.time
+        return None
+
     def reset(self, start_time: float = 0.0) -> None:
         """Discard all pending events and rewind the clock."""
+        for event in self._queue:
+            event._sim = None
         self._queue.clear()
         self._now = float(start_time)
         self._events_processed = 0
+        self._cancelled_in_heap = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

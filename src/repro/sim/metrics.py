@@ -24,7 +24,15 @@ __all__ = ["Counter", "Gauge", "Histogram", "TimeSeries", "MetricRegistry"]
 
 
 class Counter:
-    """Monotonic event counter."""
+    """Monotonic event counter.
+
+    Hot paths should resolve the counter once (see
+    :meth:`MetricRegistry.handle`) and call :meth:`increment` on the held
+    object — an increment is then one attribute store, with no dict lookup
+    or string hashing per event.
+    """
+
+    __slots__ = ("name", "value")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
@@ -47,6 +55,8 @@ class Gauge:
     supplies timestamps (the simulated clock), keeping this module free of
     any dependency on the engine.
     """
+
+    __slots__ = ("name", "value", "peak", "_last_time", "_weighted_sum", "_start_time")
 
     def __init__(self, name: str = "", initial: float = 0.0, time: float = 0.0) -> None:
         self.name = name
@@ -93,6 +103,8 @@ class Histogram:
     few hundred thousand samples so exactness is affordable and removes a
     source of noise from paper-shape comparisons.
     """
+
+    __slots__ = ("name", "_values", "_sorted")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
@@ -181,6 +193,8 @@ class Histogram:
 class TimeSeries:
     """Append-only (time, value) samples for regenerating figures."""
 
+    __slots__ = ("name", "times", "values")
+
     def __init__(self, name: str = "") -> None:
         self.name = name
         self.times: List[float] = []
@@ -245,45 +259,96 @@ class MetricRegistry:
     ``registry.counter("gateway.packets_in")`` creates on first use and
     returns the same object thereafter, so producer code never needs to
     thread metric objects through constructors.
+
+    Re-registering a name with construction kwargs that disagree with the
+    original registration raises :class:`ValueError` — silently returning
+    the first-registered object would hide the mismatch until the metric's
+    numbers looked wrong.
+
+    Per-packet code paths should not call :meth:`counter` per event (each
+    call hashes the name and does a dict lookup); resolve a handle once via
+    :meth:`handle` and keep it.
     """
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
+        self._gauge_creation: Dict[str, Tuple[float, float]] = {}  # (initial, time)
         self._histograms: Dict[str, Histogram] = {}
         self._series: Dict[str, TimeSeries] = {}
 
     def counter(self, name: str) -> Counter:
-        if name not in self._counters:
-            self._counters[name] = Counter(name)
-        return self._counters[name]
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
 
-    def gauge(self, name: str, time: float = 0.0) -> Gauge:
-        if name not in self._gauges:
-            self._gauges[name] = Gauge(name, time=time)
-        return self._gauges[name]
+    def handle(self, name: str) -> Counter:
+        """Resolve a counter handle for a hot path.
+
+        Semantically identical to :meth:`counter`; the distinct name marks
+        call sites that resolve once (typically in ``__init__``) and then
+        increment allocation-free, per the fast-path contract in
+        ``docs/PERFORMANCE.md``.
+        """
+        return self.counter(name)
+
+    def gauge(
+        self,
+        name: str,
+        time: Optional[float] = None,
+        initial: Optional[float] = None,
+    ) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            created = (0.0 if initial is None else initial, 0.0 if time is None else time)
+            self._gauge_creation[name] = created
+            gauge = self._gauges[name] = Gauge(name, initial=created[0], time=created[1])
+            return gauge
+        created_initial, created_time = self._gauge_creation[name]
+        if time is not None and time != created_time:
+            raise ValueError(
+                f"gauge {name!r} already registered with time={created_time!r};"
+                f" got conflicting time={time!r}"
+            )
+        if initial is not None and initial != created_initial:
+            raise ValueError(
+                f"gauge {name!r} already registered with initial={created_initial!r};"
+                f" got conflicting initial={initial!r}"
+            )
+        return gauge
 
     def histogram(self, name: str) -> Histogram:
-        if name not in self._histograms:
-            self._histograms[name] = Histogram(name)
-        return self._histograms[name]
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name)
+        return histogram
 
     def series(self, name: str) -> TimeSeries:
-        if name not in self._series:
-            self._series[name] = TimeSeries(name)
-        return self._series[name]
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = TimeSeries(name)
+        return series
 
     def counters(self) -> Dict[str, int]:
-        """Snapshot of all counter values."""
-        return {name: c.value for name, c in sorted(self._counters.items())}
+        """Snapshot of all counters that have counted anything.
+
+        Zero-valued counters are omitted: hot paths pre-register handles at
+        construction time, and a handle that never fired carries the same
+        information as a counter that was never created.
+        """
+        return {
+            name: c.value for name, c in sorted(self._counters.items()) if c.value
+        }
 
     def report(self) -> str:
         """Human-readable dump of every metric, for bench output."""
         lines: List[str] = []
-        if self._counters:
+        counters = self.counters()
+        if counters:
             lines.append("counters:")
-            for name, c in sorted(self._counters.items()):
-                lines.append(f"  {name:<44s} {c.value:>12d}")
+            for name, value in counters.items():
+                lines.append(f"  {name:<44s} {value:>12d}")
         if self._gauges:
             lines.append("gauges (value / peak / time-avg):")
             for name, g in sorted(self._gauges.items()):
@@ -291,19 +356,21 @@ class MetricRegistry:
                     f"  {name:<44s} {g.value:>10.2f} {g.peak:>10.2f}"
                     f" {g.time_average():>10.2f}"
                 )
-        if self._histograms:
+        histograms = {n: h for n, h in sorted(self._histograms.items()) if h.count}
+        if histograms:
             lines.append("histograms (count / mean / p50 / p99 / max):")
-            for name, h in sorted(self._histograms.items()):
+            for name, h in histograms.items():
                 s = h.summary()
                 lines.append(
                     f"  {name:<44s} {int(s['count']):>8d} {s['mean']:>10.4g}"
                     f" {s['p50']:>10.4g} {s['p99']:>10.4g} {s['max']:>10.4g}"
                 )
-        if self._series:
+        series = {n: ts for n, ts in sorted(self._series.items()) if len(ts)}
+        if series:
             lines.append("time series (samples / last / max):")
-            for name, ts in sorted(self._series.items()):
-                last = ts.values[-1] if ts.values else 0.0
+            for name, ts in series.items():
                 lines.append(
-                    f"  {name:<44s} {len(ts):>8d} {last:>10.4g} {ts.max_value():>10.4g}"
+                    f"  {name:<44s} {len(ts):>8d} {ts.values[-1]:>10.4g}"
+                    f" {ts.max_value():>10.4g}"
                 )
         return "\n".join(lines)

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator, List, Optional
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 
 __all__ = ["Sleep", "WaitEvent", "Process", "spawn"]
 
@@ -104,6 +104,7 @@ class Process:
         self.cancelled = False
         self._generator = generator
         self._on_complete = on_complete
+        self._pending_wakeup: Optional[Event] = None
 
     def cancel(self) -> None:
         """Stop the process; it never resumes and ``on_complete`` never fires.
@@ -112,11 +113,19 @@ class Process:
         action the process triggered decides to kill it): the generator
         cannot be closed while executing, so it is marked cancelled and
         discarded when it next yields.
+
+        A pending ``Sleep`` wakeup is cancelled in the event heap rather
+        than left to fire as a no-op, so long-sleeping dead processes
+        neither occupy the simulator nor inflate its event counts (and
+        heavy churn lets the heap compact them away).
         """
         if self.finished:
             return
         self.cancelled = True
         self.finished = True
+        if self._pending_wakeup is not None:
+            self._pending_wakeup.cancel()
+            self._pending_wakeup = None
         try:
             self._generator.close()
         except ValueError:
@@ -126,6 +135,7 @@ class Process:
         self._advance(lambda: next(self._generator))
 
     def _resume(self, value: Any) -> None:
+        self._pending_wakeup = None
         if self.finished:
             return
         self._advance(lambda: self._generator.send(value))
@@ -150,10 +160,14 @@ class Process:
 
     def _dispatch(self, command: Any) -> None:
         if isinstance(command, Sleep):
-            self.sim.schedule(command.duration, self._resume, None)
+            self._pending_wakeup = self.sim.schedule(
+                command.duration, self._resume, None
+            )
         elif isinstance(command, WaitEvent):
             if command.fired:
-                self.sim.call_now(self._resume, command.value)
+                self._pending_wakeup = self.sim.call_now(
+                    self._resume, command.value
+                )
             else:
                 command._waiters.append(self)
         else:
