@@ -1,0 +1,168 @@
+"""Chaos sweep: recovery behaviour across crash rate x repair delay.
+
+Each grid point runs the chaos drill scenario (a two-host farm under a
+codered outbreak) with recurring host crashes at one ``crash_every``
+period and one ``repair_delay``, then summarizes what the recovery
+report measures: MTTR, live-VM dip, packets lost by cause, respawn
+churn, and — the invariant — a balanced packet ledger.
+
+Every point is a pure function of its inputs (fixed seeds, each worker
+builds its own Simulator), so the grid fans out over a
+``multiprocessing`` pool with bit-identical results to a sequential
+run, exactly like ``sweep_runner.py``.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/chaos_sweep.py [--smoke] [--workers N]
+
+Results land in ``benchmarks/reports/BENCH_chaos.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.recovery import recovery_report
+from repro.faults import FaultPlan, host_crash
+from repro.workloads.scenarios import chaos_drill_scenario
+
+REPORT_DIR = Path(__file__).resolve().parent / "reports"
+
+CRASH_PERIODS = [30.0, 60.0, 120.0]
+REPAIR_DELAYS = [5.0, 15.0, 30.0]
+DURATION = 240.0
+DURATION_SMOKE = 60.0
+CRASH_PERIODS_SMOKE = [20.0]
+REPAIR_DELAYS_SMOKE = [5.0, 10.0]
+FIRST_CRASH_AT = 20.0  # past the epidemic's arrival at the farm
+PLAN_SEED = 7
+FARM_SEED = 42
+
+
+def _run_chaos_point(args: Tuple[float, float, float]) -> Dict[str, Any]:
+    """Worker: one drill run at (crash_every, repair_delay, duration).
+
+    Module-level (picklable) and self-contained; the recurring crash
+    plan targets a random up host each period so both hosts take hits.
+    """
+    crash_every, repair_delay, duration = args
+    plan = FaultPlan(
+        events=(
+            host_crash(at=FIRST_CRASH_AT, host="0", repair_after=repair_delay),
+            host_crash(
+                every=crash_every, host="random", repair_after=repair_delay,
+            ),
+        ),
+        seed=PLAN_SEED,
+    )
+    farm, outbreak, controller = chaos_drill_scenario(plan=plan, seed=FARM_SEED)
+    outbreak.start()
+    controller.start()
+    farm.run(until=duration)
+    report = recovery_report(farm, controller)
+    mttrs = [o.mttr for o in report.outcomes if o.mttr is not None]
+    counters = farm.metrics.counters()
+    return {
+        "crash_every_seconds": crash_every,
+        "repair_delay_seconds": repair_delay,
+        "faults_fired": controller.faults_fired,
+        "crashes": counters.get("farm.host_crashes", 0),
+        "repairs": counters.get("farm.host_repairs", 0),
+        "vms_lost": sum(
+            r.detail.get("vms_lost", 0) for r in controller.records if not r.skipped
+        ),
+        "respawns": counters.get("farm.respawns", 0),
+        "respawn_retries": counters.get("farm.respawn_retries", 0),
+        "respawns_abandoned": counters.get("farm.respawns_abandoned", 0),
+        "mean_mttr_seconds": round(sum(mttrs) / len(mttrs), 4) if mttrs else None,
+        "unrecovered_crashes": sum(1 for o in report.outcomes if o.mttr is None),
+        "min_live_vms": min((o.min_live for o in report.outcomes), default=0),
+        "packets_in": report.ledger.packets_in,
+        "packets_dropped_by_cause": report.ledger.dropped_by_cause,
+        "packets_leaked": report.ledger.leaked,
+        "infections": counters.get("farm.infections", 0),
+        "events_processed": farm.sim.events_processed,
+    }
+
+
+def run_chaos_sweep(
+    crash_periods: List[float],
+    repair_delays: List[float],
+    duration: float,
+    workers: int,
+) -> List[Dict[str, Any]]:
+    """Grid points in fixed (crash_every, repair_delay) order."""
+    points = [
+        (crash_every, repair_delay, duration)
+        for crash_every in crash_periods
+        for repair_delay in repair_delays
+    ]
+    if workers > 1 and len(points) > 1:
+        with multiprocessing.Pool(processes=min(workers, len(points))) as pool:
+            return pool.map(_run_chaos_point, points, chunksize=1)
+    return [_run_chaos_point(p) for p in points]
+
+
+def run_sweep(smoke: bool = False, workers: Optional[int] = None) -> Dict[str, Any]:
+    if workers is None:
+        workers = os.cpu_count() or 1
+    crash_periods = CRASH_PERIODS_SMOKE if smoke else CRASH_PERIODS
+    repair_delays = REPAIR_DELAYS_SMOKE if smoke else REPAIR_DELAYS
+    duration = DURATION_SMOKE if smoke else DURATION
+
+    t0 = time.perf_counter()
+    points = run_chaos_sweep(crash_periods, repair_delays, duration, workers)
+    wall = time.perf_counter() - t0
+    return {
+        "config": {
+            "smoke": smoke,
+            "workers": workers,
+            "crash_periods": crash_periods,
+            "repair_delays": repair_delays,
+            "duration_seconds": duration,
+            "plan_seed": PLAN_SEED,
+            "farm_seed": FARM_SEED,
+        },
+        "points": points,
+        "total_leaked": sum(p["packets_leaked"] for p in points),
+        "wall_seconds": round(wall, 3),
+    }
+
+
+def write_sweep(smoke: bool = False, workers: Optional[int] = None) -> Path:
+    REPORT_DIR.mkdir(exist_ok=True)
+    doc = run_sweep(smoke=smoke, workers=workers)
+    out = REPORT_DIR / "BENCH_chaos.json"
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    return out
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small grid for CI (seconds, not minutes)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool size (default: all cores)")
+    args = parser.parse_args(argv)
+    out = write_sweep(smoke=args.smoke, workers=args.workers)
+    doc = json.loads(out.read_text())
+    print(f"wrote {out}")
+    print(f"  {len(doc['points'])} points in {doc['wall_seconds']}s"
+          f" (leaked total: {doc['total_leaked']})")
+    if doc["total_leaked"]:
+        print("ERROR: packet ledger leaked packets", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

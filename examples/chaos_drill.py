@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Scenario: a host crash in the middle of a worm outbreak.
+
+A production honeyfarm loses machines: power, kernel panics, flaky NICs.
+The paper's architecture concentrates all *policy* in the gateway
+precisely so that physical servers are expendable mechanisms — this
+example demonstrates that property end to end with the chaos subsystem:
+
+1. A two-host /24 farm takes a codered outbreak and fills with VMs.
+2. At t=60 s one host crashes: its VMs are destroyed, pending packets
+   for them are dropped *with cause accounting*, and the farm starts
+   re-spawning the displaced addresses on the survivor under capped
+   exponential backoff.
+3. At t=90 s the host rejoins; admission spreads back across both.
+4. The recovery report answers: how deep was the capture dip, how fast
+   did the farm heal (MTTR), where did every packet go (the ledger must
+   balance to zero leaked).
+
+Everything is deterministic for the fixed seeds — run it twice, get the
+same report byte for byte.
+
+Run:  PYTHONPATH=src python examples/chaos_drill.py
+"""
+
+from repro.analysis.recovery import recovery_report
+from repro.workloads.scenarios import chaos_drill_scenario
+
+DURATION = 180.0
+
+
+def main() -> None:
+    farm, outbreak, controller = chaos_drill_scenario(
+        crash_at=60.0, repair_after=30.0
+    )
+    outbreak.start()
+    controller.start()
+    farm.run(until=DURATION)
+
+    report = recovery_report(farm, controller)
+    print(f"chaos drill — {DURATION:.0f}s simulated on 2 hosts\n")
+    print(report.render())
+
+    ledger = report.ledger
+    assert ledger.leaked == 0, f"packet ledger leaked {ledger.leaked} packets"
+    for outcome in report.outcomes:
+        mttr = f"{outcome.mttr:.2f}s" if outcome.mttr is not None else "(not recovered)"
+        print(
+            f"\n{outcome.record.target}: {outcome.pre_fault_live:.0f} live ->"
+            f" dip {outcome.min_live:.0f} -> recovered in {mttr}"
+        )
+
+
+if __name__ == "__main__":
+    main()

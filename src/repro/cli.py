@@ -12,6 +12,9 @@ before writing code against the API:
 * ``potemkin forensics`` — run a multi-worm incident, then triage the
   captured VMs: label-free family clustering, body-size estimates, and
   the content-sharing (dedup) opportunity.
+* ``potemkin chaos`` — a fault-injection drill: a worm outbreak with a
+  mid-run host crash (or a JSON fault plan), ending in a recovery report
+  whose packet ledger must balance.
 """
 
 from __future__ import annotations
@@ -115,6 +118,44 @@ def _cmd_forensics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.analysis.recovery import recovery_report
+    from repro.analysis.summary import farm_run_report
+    from repro.faults import FaultPlan
+    from repro.workloads.scenarios import chaos_drill_scenario
+
+    plan = FaultPlan.from_file(args.fault_plan) if args.fault_plan else None
+    duration, crash_at, repair_after = args.duration, args.crash_at, args.repair_after
+    if args.smoke:
+        # The epidemic reaches the farm ~15 s in; crash just after so the
+        # drill actually displaces VMs.
+        duration, crash_at, repair_after = 45.0, 25.0, 10.0
+    farm, outbreak, controller = chaos_drill_scenario(
+        crash_at=crash_at,
+        repair_after=repair_after,
+        plan=plan,
+        seed=args.seed,
+    )
+    outbreak.start()
+    controller.start()
+    farm.run(until=duration)
+    report = recovery_report(farm, controller)
+    print(
+        f"chaos drill — {duration:.0f}s simulated,"
+        f" {controller.faults_fired} fault(s) fired\n"
+    )
+    print(farm_run_report(farm))
+    print()
+    print(report.render())
+    if report.ledger.leaked != 0:
+        print(
+            f"\nERROR: packet ledger leaked {report.ledger.leaked} packet(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="potemkin",
@@ -163,6 +204,23 @@ def build_parser() -> argparse.ArgumentParser:
                            help="slammer victims (codered gets half)")
     forensics.add_argument("--seed", type=int, default=55)
     forensics.set_defaults(func=_cmd_forensics)
+
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection drill with a recovery report"
+    )
+    chaos.add_argument(
+        "--fault-plan", default=None,
+        help="JSON fault plan file (overrides --crash-at/--repair-after)",
+    )
+    chaos.add_argument("--duration", type=float, default=180.0, help="simulated seconds")
+    chaos.add_argument("--crash-at", type=float, default=60.0,
+                       help="host crash time (default fault plan only)")
+    chaos.add_argument("--repair-after", type=float, default=30.0,
+                       help="repair delay after the crash")
+    chaos.add_argument("--seed", type=int, default=42)
+    chaos.add_argument("--smoke", action="store_true",
+                       help="short CI drill (45s, crash at 25s)")
+    chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 

@@ -35,12 +35,22 @@ __all__ = ["CloneResult", "FlashCloneEngine"]
 
 @dataclass
 class CloneResult:
-    """Outcome of one clone operation, kept for the latency experiments."""
+    """Outcome of one clone operation, kept for the latency experiments.
+
+    ``failed`` marks a clone the fault-injection hook killed at the end
+    of its pipeline: the VM never reached RUNNING and the orchestrator
+    must tear it down. Failures surface through this flag (with
+    ``failure_reason``) rather than an exception, because by the time
+    the pipeline completes the original caller is long gone — only the
+    ``on_ready`` callback can react.
+    """
 
     vm: VirtualMachine
     requested_at: float
     completed_at: float
     stages: List[StageCost] = field(default_factory=list)
+    failed: bool = False
+    failure_reason: Optional[str] = None
 
     @property
     def total_seconds(self) -> float:
@@ -87,7 +97,13 @@ class FlashCloneEngine:
         self.metrics = metrics or MetricRegistry()
         self.mode = mode
         self.results: List[CloneResult] = []
+        self.failures: List[CloneResult] = []
         self.in_flight = 0
+        # Chaos hook (see repro.faults.injectors.CloneFaultInjector):
+        # called once per completing clone; a non-None return is a
+        # failure reason and the clone fails instead of starting. None
+        # (the default) keeps the pipeline fault-free at zero cost.
+        self.fault_hook: Optional[Callable[[VirtualMachine], Optional[str]]] = None
 
     @property
     def eager_copy(self) -> bool:
@@ -144,9 +160,19 @@ class FlashCloneEngine:
         result.completed_at = self.sim.now
         vm = result.vm
         if not vm.is_live:
-            # Reclaimed mid-clone (possible under extreme memory pressure).
+            # Reclaimed mid-clone (memory pressure, or its host crashed).
             self.metrics.counter("clone.aborted").increment()
             return
+        if self.fault_hook is not None:
+            reason = self.fault_hook(vm)
+            if reason is not None:
+                result.failed = True
+                result.failure_reason = reason
+                self.failures.append(result)
+                self.metrics.counter("clone.failed").increment()
+                if on_ready is not None:
+                    on_ready(result)
+                return
         vm.start(self.sim.now)
         self.results.append(result)
         self.metrics.counter("clone.completed").increment()

@@ -46,7 +46,7 @@ from repro.net.gre import GrePacket, GreTunnel, decapsulate, encapsulate
 from repro.net.link import Link
 from repro.net.packet import Packet
 from repro.services.dns import DnsServer
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 from repro.sim.metrics import MetricRegistry
 from repro.vmm.vm import VirtualMachine, VMState
 
@@ -79,7 +79,10 @@ class Gateway:
         external_sink: Optional[Callable[[Packet], None]] = None,
         max_pending_per_ip: int = 256,
         packet_tap: Optional[Callable[[Packet], None]] = None,
+        pending_timeout: Optional[float] = None,
     ) -> None:
+        if pending_timeout is not None and pending_timeout <= 0:
+            raise ValueError(f"pending_timeout must be positive or None: {pending_timeout!r}")
         self.sim = sim
         self.inventory = inventory
         self.policy = policy
@@ -90,11 +93,16 @@ class Gateway:
         self.external_sink = external_sink
         self.max_pending_per_ip = max_pending_per_ip
         self.packet_tap = packet_tap
+        self.pending_timeout = pending_timeout
         self.nat = ReflectionNat()
         self.vm_map: Dict[IPAddress, VirtualMachine] = {}
         # Packets held while a clone is in flight, each with the flow
         # record that already accounted it (observed exactly once).
         self._pending: Dict[IPAddress, List[Tuple[Packet, FlowRecord]]] = {}
+        # Watchdog timers over pending queues (armed only when
+        # ``pending_timeout`` is configured, so the default path never
+        # schedules an extra event).
+        self._pending_timers: Dict[IPAddress, Event] = {}
         self._tunnels: Dict[int, GreTunnel] = {}
         self._tunnel_links: Dict[int, Link] = {}
         self._tunnel_by_prefix: Dict[Prefix, int] = {}
@@ -128,6 +136,17 @@ class Gateway:
         self._c_external_out = handle("gateway.external_out")
         self._c_dns_malformed = handle("gateway.dns_malformed")
         self._c_dns_answered = handle("gateway.dns_answered")
+        # Pending-queue drops, keyed by cause, so packet totals reconcile
+        # exactly even through host crashes and clone failures:
+        #   host_down    — the VM's host crashed mid-clone
+        #   vm_retired   — the VM was reclaimed/detained with packets held
+        #   timeout      — the watchdog gave up on a stuck clone
+        #   clone_failed — the clone pipeline itself failed (fault injection)
+        #   vm_died      — the VM stopped RUNNING mid-flush
+        self._c_pending_dropped = {
+            cause: handle(f"gateway.pending_dropped_{cause}")
+            for cause in ("host_down", "vm_retired", "timeout", "clone_failed", "vm_died")
+        }
 
     # ------------------------------------------------------------------ #
     # Tunnel configuration
@@ -214,9 +233,15 @@ class Gateway:
                 # packet until vm_ready flushes it.
                 self._pending[packet.dst] = [(packet, record)]
                 self._c_queued_during_clone.increment()
+                if self.pending_timeout is not None:
+                    self._arm_pending_timer(packet.dst, vm)
                 return
         if vm.state is VMState.CLONING:
-            queue = self._pending.setdefault(packet.dst, [])
+            queue = self._pending.get(packet.dst)
+            if queue is None:
+                queue = self._pending[packet.dst] = []
+                if self.pending_timeout is not None:
+                    self._arm_pending_timer(packet.dst, vm)
             if len(queue) >= self.max_pending_per_ip:
                 self._c_pending_overflow.increment()
                 return
@@ -232,6 +257,46 @@ class Gateway:
         self.backend.deliver(vm, packet)
 
     # ------------------------------------------------------------------ #
+    # Pending-queue watchdog (armed only when pending_timeout is set)
+    # ------------------------------------------------------------------ #
+
+    def _arm_pending_timer(self, ip: IPAddress, vm: VirtualMachine) -> None:
+        self._pending_timers[ip] = self.sim.schedule(
+            self.pending_timeout, self._pending_timed_out, ip, vm.vm_id
+        )
+
+    def _cancel_pending_timer(self, ip: IPAddress) -> None:
+        timer = self._pending_timers.pop(ip, None)
+        if timer is not None:
+            timer.cancel()
+
+    def _pending_timed_out(self, ip: IPAddress, vm_id: int) -> None:
+        """The clone a queue was waiting on never delivered; give up.
+
+        Drops the held packets (accounted under the ``timeout`` cause) and
+        — the failover half — unbinds the address from the stuck VM so the
+        next packet for it dispatches a fresh clone instead of queueing
+        behind a corpse forever.
+        """
+        self._pending_timers.pop(ip, None)
+        queued = self._pending.pop(ip, None)
+        if queued:
+            self._c_pending_dropped["timeout"].increment(len(queued))
+        current = self.vm_map.get(ip)
+        if (
+            current is not None
+            and current.vm_id == vm_id
+            and current.state is not VMState.RUNNING
+        ):
+            del self.vm_map[ip]
+
+    def _drop_pending(self, ip: IPAddress, cause: str) -> None:
+        self._cancel_pending_timer(ip)
+        queued = self._pending.pop(ip, None)
+        if queued:
+            self._c_pending_dropped[cause].increment(len(queued))
+
+    # ------------------------------------------------------------------ #
     # VM lifecycle notifications from the backend
     # ------------------------------------------------------------------ #
 
@@ -242,20 +307,29 @@ class Gateway:
         arrived; the flush reuses that record rather than observing again
         (which would double-count the packet's flow statistics).
         """
+        self._cancel_pending_timer(vm.ip)
         queued = self._pending.pop(vm.ip, [])
-        for packet, record in queued:
+        for index, (packet, record) in enumerate(queued):
             if vm.state is not VMState.RUNNING:
+                # The VM died mid-flush: account the unflushed remainder
+                # so packet totals still reconcile.
+                self._c_pending_dropped["vm_died"].increment(len(queued) - index)
                 break
             record.vm_id = vm.vm_id
             self._c_delivered.increment()
             self.backend.deliver(vm, packet)
 
-    def vm_retired(self, vm: VirtualMachine) -> None:
-        """Drop all state bound to a reclaimed/detained VM."""
+    def vm_retired(self, vm: VirtualMachine, pending_cause: str = "vm_retired") -> None:
+        """Drop all state bound to a reclaimed/detained/crashed VM.
+
+        ``pending_cause`` labels any held packets this drops (the farm
+        passes ``host_down`` when the VM's host crashed, ``clone_failed``
+        when the clone pipeline failed).
+        """
         current = self.vm_map.get(vm.ip)
         if current is not None and current.vm_id == vm.vm_id:
             del self.vm_map[vm.ip]
-        self._pending.pop(vm.ip, None)
+        self._drop_pending(vm.ip, pending_cause)
         self.flows.drop_vm(vm.vm_id)
         self.nat.forget_vm(vm.ip)
 
@@ -373,9 +447,23 @@ class Gateway:
         """Expire idle flows; returns how many were dropped."""
         return len(self.flows.expire_idle(self.sim.now))
 
+    def tunnel_links(self) -> Dict[int, Link]:
+        """The registered tunnel return links, keyed by tunnel key (the
+        chaos subsystem impairs these by name)."""
+        return dict(self._tunnel_links)
+
     @property
     def live_vm_count(self) -> int:
         return len(self.vm_map)
+
+    @property
+    def pending_packet_count(self) -> int:
+        """Packets currently held in pending queues (reconciliation)."""
+        return sum(len(queue) for queue in self._pending.values())
+
+    def pending_dropped_total(self) -> int:
+        """Sum of pending-queue drops across every cause."""
+        return sum(c.value for c in self._c_pending_dropped.values())
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -35,6 +35,7 @@ from repro.core.reclamation import (
     MemoryPressurePolicy,
     ReclamationPlan,
 )
+from repro.faults.backoff import backoff_delay
 from repro.net.addr import AddressSpaceInventory, IPAddress
 from repro.net.packet import Packet
 from repro.services.dns import DnsServer
@@ -88,10 +89,14 @@ class Honeyfarm:
         self.hosts: List[PhysicalHost] = []
         needed = self._needed_personalities()
         for i in range(self.config.num_hosts):
+            # Farm-local host ids: two identically-seeded farms in one
+            # process must build identical clusters (placement tie-breaks
+            # on host_id).
             host = PhysicalHost(
                 memory_bytes=self.config.host_memory_bytes,
                 max_vms=self.config.max_vms_per_host,
                 name=f"host-{i}",
+                host_id=i,
             )
             for personality in needed:
                 host.install_snapshot(
@@ -118,6 +123,7 @@ class Honeyfarm:
             flow_idle_timeout=self.config.flow_idle_timeout_seconds,
             dns_server=self.dns_server,
             metrics=self.metrics,
+            pending_timeout=self.config.pending_timeout_seconds,
         )
 
         idle_policy = IdleTimeoutPolicy(
@@ -151,8 +157,12 @@ class Honeyfarm:
         self._c_deliver_to_dead_vm = self.metrics.handle("farm.deliver_to_dead_vm")
         self._c_infections = self.metrics.handle("farm.infections")
         self._c_vms_reclaimed = self.metrics.handle("farm.vms_reclaimed")
+        self._c_clone_failures = self.metrics.handle("farm.clone_failures")
         self._live_series = self.metrics.series("farm.live_vms_series")
         self._infections_series = self.metrics.series("farm.infections_series")
+        # Respawn backoff jitter draws from its own stream so chaos
+        # recovery cannot perturb workload randomness (and vice versa).
+        self._respawn_rng = self.seeds.stream("respawn-backoff")
 
     def _needed_personalities(self) -> List[str]:
         names = self.config.all_personalities()
@@ -208,8 +218,13 @@ class Honeyfarm:
         self._pool_parking_counter += 1
         return IPAddress(0x00000100 + self._pool_parking_counter)
 
-    def _refill_pool(self) -> None:
-        """Background daemon: keep the pool at its target size."""
+    def _top_up_pool(self) -> None:
+        """Clone pool VMs up to the target size.
+
+        Shared by the periodic refill daemon and the crash/repair paths
+        (which call it directly rather than waiting for the next tick, and
+        must not fork a second daemon chain).
+        """
         deficit = self.config.warm_pool_size - len(self._pool)
         while deficit > 0:
             host = self._pick_host(self.config.default_personality)
@@ -226,6 +241,10 @@ class Honeyfarm:
             self._pool.append(vm)
             self.metrics.counter("farm.pool_clones").increment()
             deficit -= 1
+
+    def _refill_pool(self) -> None:
+        """Background daemon: keep the pool at its target size."""
+        self._top_up_pool()
         self.sim.schedule(self.config.warm_pool_refill_interval, self._refill_pool)
 
     def _pool_vm_ready(self, result: CloneResult) -> None:
@@ -282,11 +301,16 @@ class Honeyfarm:
             if self._emergency_reclaim():
                 host = self._pick_host(personality)
         if host is None:
+            self._note_clone_failure("no_host_capacity")
             return None
         snapshot = host.snapshot_for(personality)
         try:
             vm = self.clone_engine.clone(host, snapshot, ip, on_ready=self._clone_ready)
-        except (HostCapacityError, OutOfMemoryError):
+        except HostCapacityError:
+            self._note_clone_failure("host_capacity")
+            return None
+        except OutOfMemoryError:
+            self._note_clone_failure("out_of_memory")
             return None
         self._live_gauge.adjust(1, self.sim.now)
         self._live_series.record(self.sim.now, self._live_gauge.value)
@@ -319,6 +343,9 @@ class Honeyfarm:
     # ------------------------------------------------------------------ #
 
     def _clone_ready(self, result: CloneResult) -> None:
+        if result.failed:
+            self._clone_fault(result)
+            return
         vm = result.vm
         if not vm.parked:
             # Address-serving clones (not pool refills) count toward the
@@ -343,6 +370,30 @@ class Honeyfarm:
             on_infection=self._record_infection,
         )
         self.gateway.vm_ready(vm)
+
+    def _note_clone_failure(self, reason: str) -> None:
+        """Account a failed or refused clone under a reason label."""
+        self._c_clone_failures.increment()
+        self.metrics.counter(f"farm.clone_failures.{reason}").increment()
+
+    def _clone_fault(self, result: CloneResult) -> None:
+        """A clone pipeline completed *failed* (fault injection): unwind
+        the half-built VM and, for an address-serving clone, schedule a
+        respawn so the address heals."""
+        vm = result.vm
+        self._note_clone_failure(result.failure_reason or "fault")
+        host = self._hosts_by_id.get(vm.host_id)
+        if host is not None and host.get_vm(vm.vm_id) is not None:
+            host.evict(vm, self.sim.now)
+        if vm.parked:
+            # A pool refill died; the refill daemon will top back up.
+            if vm in self._pool:
+                self._pool.remove(vm)
+        else:
+            self.gateway.vm_retired(vm, pending_cause="clone_failed")
+            self._live_gauge.adjust(-1, self.sim.now)
+            self._live_series.record(self.sim.now, self._live_gauge.value)
+            self._schedule_respawn(vm.ip)
 
     def _record_infection(self, record: InfectionRecord) -> None:
         self.infections.append(record)
@@ -433,6 +484,100 @@ class Honeyfarm:
             self.sim.now, breakdown.private_resident
         )
         self.sim.schedule(self.config.sweep_interval_seconds, self._sweep)
+
+    # ------------------------------------------------------------------ #
+    # Host crash, repair, and respawn (chaos self-healing)
+    # ------------------------------------------------------------------ #
+
+    def crash_host(self, host: PhysicalHost) -> Dict[str, int]:
+        """Crash ``host`` now and run the farm's self-healing reaction.
+
+        Every resident VM is destroyed; the gateway state bound to each
+        (address map, pending queues — dropped under the ``host_down``
+        cause — flows, NAT entries) is unwound; the addresses the host
+        was serving are re-spawned on surviving hosts under capped
+        exponential backoff; and the warm pool tops back up on the
+        survivors. Admission skips the host (``has_vm_slot`` is False
+        while down) until :meth:`repair_host`.
+
+        Returns an impact summary for the fault record.
+        """
+        if host.failed:
+            raise ValueError(f"{host.name} is already down")
+        now = self.sim.now
+        pending_before = self.gateway.pending_dropped_total()
+        vms_lost = 0
+        clones_aborted = 0
+        pool_lost = 0
+        respawn_ips: List[IPAddress] = []
+        for vm in host.vms():
+            if vm.parked:
+                pool_lost += 1
+                if vm in self._pool:
+                    self._pool.remove(vm)
+            elif vm.detained:
+                # The forensic evidence went down with the host.
+                if vm in self.detained:
+                    self.detained.remove(vm)
+                self.metrics.counter("farm.detained_lost").increment()
+            else:
+                guest: Optional[GuestHost] = vm.guest
+                if guest is not None:
+                    guest.stop()
+                if vm.state is VMState.CLONING:
+                    clones_aborted += 1
+                    self._note_clone_failure("host_down")
+                vms_lost += 1
+                self.gateway.vm_retired(vm, pending_cause="host_down")
+                self._live_gauge.adjust(-1, now)
+                respawn_ips.append(vm.ip)
+        self._live_series.record(now, self._live_gauge.value)
+        host.fail(now)
+        self.metrics.counter("farm.host_crashes").increment()
+        for ip in respawn_ips:
+            self._schedule_respawn(ip)
+        if self.config.warm_pool_size > 0 and self._pool_started:
+            self.sim.call_now(self._top_up_pool)
+        return {
+            "vms_lost": vms_lost,
+            "clones_aborted": clones_aborted,
+            "pool_vms_lost": pool_lost,
+            "pending_dropped": self.gateway.pending_dropped_total() - pending_before,
+            "respawns_scheduled": len(respawn_ips),
+        }
+
+    def repair_host(self, host: PhysicalHost) -> None:
+        """Bring a crashed host back into admission rotation and let the
+        warm pool spread back onto it."""
+        host.repair()
+        self.metrics.counter("farm.host_repairs").increment()
+        if self.config.warm_pool_size > 0 and self._pool_started:
+            self.sim.call_now(self._top_up_pool)
+
+    def _schedule_respawn(self, ip: IPAddress, attempt: int = 0) -> None:
+        delay = backoff_delay(
+            attempt,
+            self.config.respawn_backoff_base,
+            self.config.respawn_backoff_cap,
+            self.config.respawn_backoff_jitter,
+            self._respawn_rng,
+        )
+        self.sim.schedule(delay, self._attempt_respawn, ip, attempt)
+
+    def _attempt_respawn(self, ip: IPAddress, attempt: int) -> None:
+        if self.gateway.vm_map.get(ip) is not None:
+            # A fresh packet already re-spawned this address naturally.
+            return
+        vm = self.spawn_vm(ip)
+        if vm is None:
+            if attempt + 1 < self.config.respawn_max_attempts:
+                self.metrics.counter("farm.respawn_retries").increment()
+                self._schedule_respawn(ip, attempt + 1)
+            else:
+                self.metrics.counter("farm.respawns_abandoned").increment()
+            return
+        self.gateway.vm_map[ip] = vm
+        self.metrics.counter("farm.respawns").increment()
 
     # ------------------------------------------------------------------ #
     # Reporting

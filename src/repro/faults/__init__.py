@@ -1,0 +1,53 @@
+"""Deterministic fault injection and recovery (the chaos subsystem).
+
+The paper's honeyfarm is a centralized cluster — one gateway fronting
+racks of physical servers — and in production such clusters lose hosts,
+drop tunnel links, and fail clone operations. This package injects those
+faults *deterministically* (same seed, same plan → bit-identical run) so
+the reproduction can measure what matters operationally: how fast the
+farm heals and how many packets each outage costs.
+
+* :mod:`repro.faults.plan` — the :class:`FaultPlan` DSL: one-shot and
+  recurring fault events, composable from config/CLI JSON.
+* :mod:`repro.faults.injectors` — the injectors that carry faults out
+  (host crashes, link impairments, clone failures) and the
+  :class:`ChaosController` that schedules a plan onto the sim clock.
+* :mod:`repro.faults.backoff` — capped, jittered exponential backoff
+  used by the farm's self-healing respawn path.
+
+See ``docs/FAULTS.md`` for the fault model and the recovery report.
+"""
+
+from repro.faults.backoff import backoff_delay
+from repro.faults.injectors import (
+    ChaosController,
+    CloneFaultInjector,
+    FaultRecord,
+    HostCrashInjector,
+    LinkImpairmentInjector,
+)
+from repro.faults.plan import (
+    FaultPlan,
+    FaultSpec,
+    clone_faults,
+    host_crash,
+    link_latency,
+    link_loss,
+    link_outage,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "FaultRecord",
+    "ChaosController",
+    "HostCrashInjector",
+    "LinkImpairmentInjector",
+    "CloneFaultInjector",
+    "backoff_delay",
+    "host_crash",
+    "link_outage",
+    "link_loss",
+    "link_latency",
+    "clone_faults",
+]

@@ -1,0 +1,50 @@
+"""Capped exponential backoff with seeded jitter.
+
+The farm's self-healing paths (re-spawning the VMs a crashed host was
+serving, retrying after an injected clone fault) retry on a capped
+exponential schedule. Jitter comes from a caller-supplied
+:class:`~repro.sim.rand.RandomStream`, so the schedule is deterministic
+per seed while still de-synchronizing retries within one run — without
+jitter, every address a crashed host served would retry in lock-step and
+hammer the surviving hosts at the same instants.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.rand import RandomStream
+
+__all__ = ["backoff_delay"]
+
+#: Exponent ceiling: 2**32 * any sane base already exceeds any cap, so
+#: larger attempts need not (and must not) compute astronomically large
+#: intermediate powers.
+_MAX_EXPONENT = 32
+
+
+def backoff_delay(
+    attempt: int,
+    base: float,
+    cap: float,
+    jitter: float = 0.0,
+    rng: Optional[RandomStream] = None,
+) -> float:
+    """Delay before retry number ``attempt`` (0-based).
+
+    ``min(cap, base * 2**attempt)``, multiplied by a uniform factor in
+    ``[1 - jitter, 1 + jitter)`` drawn from ``rng``. With ``jitter`` of 0
+    (or no ``rng``) the schedule is the pure capped exponential.
+    """
+    if attempt < 0:
+        raise ValueError(f"attempt must be >= 0, got {attempt!r}")
+    if base <= 0:
+        raise ValueError(f"base must be positive, got {base!r}")
+    if cap < base:
+        raise ValueError(f"cap must be >= base, got cap={cap!r} base={base!r}")
+    if not (0.0 <= jitter < 1.0):
+        raise ValueError(f"jitter must be in [0, 1), got {jitter!r}")
+    delay = min(cap, base * (2 ** min(attempt, _MAX_EXPONENT)))
+    if jitter > 0.0 and rng is not None:
+        delay *= 1.0 + rng.uniform(-jitter, jitter)
+    return delay

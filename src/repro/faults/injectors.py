@@ -1,0 +1,255 @@
+"""Fault injectors and the chaos controller that drives a plan.
+
+Three injectors carry faults out against the running farm:
+
+* :class:`HostCrashInjector` — a :class:`~repro.vmm.host.PhysicalHost`
+  goes down (every resident VM destroyed, in-flight clones on it fail)
+  and rejoins after a repair delay. The farm's self-healing reaction —
+  dropping pending queues with cause accounting, re-spawning displaced
+  addresses on surviving hosts under capped backoff, topping the warm
+  pool back up — lives in :meth:`repro.core.honeyfarm.Honeyfarm.crash_host`.
+* :class:`LinkImpairmentInjector` — outage windows, loss bursts, and
+  latency spikes layered onto :class:`~repro.net.link.Link` objects as
+  time-varying impairment state.
+* :class:`CloneFaultInjector` — arms the flash-clone engine's fault
+  hook so clones fail probabilistically (surfaced as a failed
+  :class:`~repro.core.flash_clone.CloneResult`, never an exception).
+
+:class:`ChaosController` owns the injectors, schedules a
+:class:`~repro.faults.plan.FaultPlan` onto the farm's sim clock, and
+keeps the :class:`FaultRecord` timeline the recovery report reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.net.link import Link
+from repro.sim.rand import RandomStream, SeedSequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.flash_clone import FlashCloneEngine
+    from repro.core.honeyfarm import Honeyfarm
+    from repro.vmm.host import PhysicalHost
+
+__all__ = [
+    "FaultRecord",
+    "HostCrashInjector",
+    "LinkImpairmentInjector",
+    "CloneFaultInjector",
+    "ChaosController",
+]
+
+
+@dataclass
+class FaultRecord:
+    """One fired fault, as the recovery report sees it.
+
+    ``cleared_at`` is when the fault was undone (host repaired,
+    impairment window closed); ``None`` means it never cleared within
+    the run. ``detail`` carries injector-specific impact numbers.
+    """
+
+    kind: str
+    target: str
+    fired_at: float
+    cleared_at: Optional[float] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def skipped(self) -> bool:
+        """True when the injector could not act (e.g. no host left up)."""
+        return bool(self.detail.get("skipped"))
+
+
+class HostCrashInjector:
+    """Crashes physical hosts and schedules their repair."""
+
+    def __init__(self, farm: "Honeyfarm", rng: RandomStream) -> None:
+        self.farm = farm
+        self.rng = rng
+
+    def _resolve(self, target: Optional[str]) -> Optional["PhysicalHost"]:
+        up = [host for host in self.farm.hosts if not host.failed]
+        if not up:
+            return None
+        if target is None or target == "random":
+            return self.rng.choice(up)
+        for host in up:
+            if host.name == target:
+                return host
+        try:
+            index = int(target)
+        except ValueError:
+            return None
+        if 0 <= index < len(self.farm.hosts):
+            host = self.farm.hosts[index]
+            return None if host.failed else host
+        return None
+
+    def fire(self, spec: FaultSpec) -> FaultRecord:
+        now = self.farm.sim.now
+        host = self._resolve(spec.target)
+        if host is None:
+            return FaultRecord(
+                kind=spec.kind, target=str(spec.target), fired_at=now,
+                detail={"skipped": "no eligible host"},
+            )
+        impact = self.farm.crash_host(host)
+        record = FaultRecord(
+            kind=spec.kind, target=host.name, fired_at=now, detail=impact,
+        )
+        if spec.duration > 0:
+            self.farm.sim.schedule(spec.duration, self._repair, host, record)
+        return record
+
+    def _repair(self, host: "PhysicalHost", record: FaultRecord) -> None:
+        self.farm.repair_host(host)
+        record.cleared_at = self.farm.sim.now
+
+
+class LinkImpairmentInjector:
+    """Applies impairment windows to named links."""
+
+    def __init__(self, links: Dict[str, Link]) -> None:
+        self.links = links
+
+    def fire(self, spec: FaultSpec) -> FaultRecord:
+        link = self.links.get(spec.target or "")
+        sim_now = None
+        if link is None:
+            return FaultRecord(
+                kind=spec.kind, target=str(spec.target), fired_at=0.0,
+                detail={"skipped": "unknown link"},
+            )
+        sim_now = link.sim.now
+        if spec.kind == "link_outage":
+            link.impair(spec.duration, down=True)
+        elif spec.kind == "link_loss":
+            link.impair(spec.duration, loss_rate=spec.rate)
+        else:  # link_latency
+            link.impair(spec.duration, extra_delay=spec.extra_delay)
+        return FaultRecord(
+            kind=spec.kind, target=spec.target or "", fired_at=sim_now,
+            cleared_at=sim_now + spec.duration,
+            detail={"rate": spec.rate, "extra_delay": spec.extra_delay}
+            if spec.kind != "link_outage" else {},
+        )
+
+
+class CloneFaultInjector:
+    """Arms the flash-clone engine's fault hook for a window.
+
+    Overlapping windows stack: the hook stays armed until every window
+    has expired, and the most recently fired window's rate wins.
+    """
+
+    def __init__(self, engine: "FlashCloneEngine", rng: RandomStream) -> None:
+        self.engine = engine
+        self.rng = rng
+        self._active_windows = 0
+        self._rate = 0.0
+
+    def fire(self, spec: FaultSpec) -> FaultRecord:
+        now = self.engine.sim.now
+        self._rate = spec.rate
+        self._active_windows += 1
+        self.engine.fault_hook = self._hook
+        self.engine.sim.schedule(spec.duration, self._expire)
+        return FaultRecord(
+            kind=spec.kind, target=f"rate={spec.rate:g}", fired_at=now,
+            cleared_at=now + spec.duration, detail={"rate": spec.rate},
+        )
+
+    def _expire(self) -> None:
+        self._active_windows -= 1
+        if self._active_windows == 0:
+            # Disarm entirely: an unarmed hook costs the clone path nothing.
+            self.engine.fault_hook = None
+
+    def _hook(self, vm: Any) -> Optional[str]:
+        return "fault" if self.rng.bernoulli(self._rate) else None
+
+
+class ChaosController:
+    """Schedules a :class:`FaultPlan` onto a farm's sim clock.
+
+    Usage::
+
+        plan = FaultPlan(events=(host_crash(at=60.0, repair_after=30.0),), seed=7)
+        controller = ChaosController(farm, plan)
+        controller.start()
+        farm.run(until=180.0)
+        controller.records   # FaultRecord timeline for the recovery report
+
+    Link targets resolve against ``links`` plus, automatically, the
+    gateway's registered tunnel return links as ``"tunnel:<key>"``.
+    All randomness derives from the *plan's* seed, isolated from the
+    farm's workload streams.
+    """
+
+    def __init__(
+        self,
+        farm: "Honeyfarm",
+        plan: FaultPlan,
+        links: Optional[Dict[str, Link]] = None,
+    ) -> None:
+        self.farm = farm
+        self.plan = plan
+        self.links: Dict[str, Link] = dict(links or {})
+        for key, link in farm.gateway.tunnel_links().items():
+            self.links.setdefault(f"tunnel:{key}", link)
+        self.seeds = SeedSequence(plan.seed)
+        self.records: List[FaultRecord] = []
+        self._started = False
+        self._host_injector = HostCrashInjector(farm, self.seeds.stream("host-crash"))
+        self._link_injector = LinkImpairmentInjector(self.links)
+        self._clone_injector = CloneFaultInjector(
+            farm.clone_engine, self.seeds.stream("clone-fault")
+        )
+        self._recurrence_rng = self.seeds.stream("recurrence")
+
+    def start(self) -> None:
+        """Schedule every event in the plan (no-op for an empty plan)."""
+        if self._started:
+            raise ValueError("chaos controller already started")
+        self._started = True
+        sim = self.farm.sim
+        for spec in self.plan.events:
+            if spec.at is not None:
+                sim.schedule_at(max(spec.at, sim.now), self._fire, spec, 0)
+            else:
+                sim.schedule(self._spacing(spec), self._fire, spec, 0)
+
+    def _spacing(self, spec: FaultSpec) -> float:
+        delay = spec.every or 0.0
+        if spec.jitter > 0.0:
+            delay *= 1.0 + self._recurrence_rng.uniform(-spec.jitter, spec.jitter)
+        return delay
+
+    def _fire(self, spec: FaultSpec, occurrence: int) -> None:
+        self.records.append(self._dispatch(spec))
+        if spec.every is not None:
+            nxt = occurrence + 1
+            if spec.count is None or nxt < spec.count:
+                self.farm.sim.schedule(self._spacing(spec), self._fire, spec, nxt)
+
+    def _dispatch(self, spec: FaultSpec) -> FaultRecord:
+        if spec.kind == "host_crash":
+            return self._host_injector.fire(spec)
+        if spec.kind == "clone_faults":
+            return self._clone_injector.fire(spec)
+        return self._link_injector.fire(spec)
+
+    @property
+    def faults_fired(self) -> int:
+        """Faults that actually acted (skipped firings excluded)."""
+        return sum(1 for record in self.records if not record.skipped)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ChaosController events={len(self.plan)} fired={len(self.records)}"
+            f" seed={self.plan.seed}>"
+        )

@@ -1,0 +1,284 @@
+"""The :class:`FaultPlan` DSL: declarative, deterministic fault schedules.
+
+A plan is a root seed plus a tuple of :class:`FaultSpec` events. Each
+event is either **one-shot** (``at`` — an absolute sim time) or
+**recurring** (``every`` — a period, optionally jittered and bounded by
+``count``). Plans round-trip through JSON, so they compose from config
+files and the CLI (``potemkin chaos --fault-plan plan.json``) as well as
+from the builder helpers in this module.
+
+Determinism contract
+--------------------
+All randomness (recurrence jitter, random host selection, clone-failure
+coin flips) draws from streams derived from the plan's own seed — never
+from the farm's workload streams — so adding or removing faults cannot
+perturb the workload's random sequences. Fault events are scheduled
+through the engine's priority queue and therefore obey the same
+insertion-order tie-breaking as every other event: two faults at the
+same timestamp fire in plan order, and a fault scheduled at the same
+time as a workload event fires in whichever order the events were
+inserted, exactly as the engine documents.
+
+Plan schema (JSON)::
+
+    {
+      "seed": 7,
+      "events": [
+        {"kind": "host_crash", "at": 60.0, "target": "0", "duration": 30.0},
+        {"kind": "host_crash", "every": 120.0, "count": 3, "jitter": 0.1,
+         "target": "random", "duration": 20.0},
+        {"kind": "link_outage", "at": 10.0, "target": "tunnel:1", "duration": 5.0},
+        {"kind": "link_loss", "at": 20.0, "target": "tunnel:1",
+         "duration": 3.0, "rate": 0.5},
+        {"kind": "link_latency", "at": 30.0, "target": "tunnel:1",
+         "duration": 2.0, "extra_delay": 0.2},
+        {"kind": "clone_faults", "at": 5.0, "duration": 50.0, "rate": 0.1}
+      ]
+    }
+
+``duration`` is the repair delay for ``host_crash`` (0 = never repaired)
+and the impairment window for everything else.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "host_crash",
+    "link_outage",
+    "link_loss",
+    "link_latency",
+    "clone_faults",
+]
+
+FAULT_KINDS = (
+    "host_crash",
+    "link_outage",
+    "link_loss",
+    "link_latency",
+    "clone_faults",
+)
+
+_LINK_KINDS = ("link_outage", "link_loss", "link_latency")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault event (or recurring family of events) in a plan.
+
+    Fields not meaningful for a ``kind`` must stay at their defaults;
+    validation rejects contradictory combinations eagerly so a bad plan
+    fails at parse time, not two simulated hours into a run.
+    """
+
+    kind: str
+    at: Optional[float] = None
+    every: Optional[float] = None
+    count: Optional[int] = None
+    jitter: float = 0.0
+    target: Optional[str] = None
+    duration: float = 0.0
+    rate: float = 0.0
+    extra_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if (self.at is None) == (self.every is None):
+            raise ValueError(
+                f"{self.kind}: exactly one of 'at' (one-shot) or 'every'"
+                f" (recurring) must be set"
+            )
+        if self.at is not None and self.at < 0:
+            raise ValueError(f"{self.kind}: 'at' must be >= 0, got {self.at!r}")
+        if self.every is not None and self.every <= 0:
+            raise ValueError(f"{self.kind}: 'every' must be positive, got {self.every!r}")
+        if self.count is not None:
+            if self.every is None:
+                raise ValueError(f"{self.kind}: 'count' requires 'every'")
+            if self.count <= 0:
+                raise ValueError(f"{self.kind}: 'count' must be positive")
+        if not (0.0 <= self.jitter < 1.0):
+            raise ValueError(f"{self.kind}: 'jitter' must be in [0, 1)")
+        if self.jitter > 0.0 and self.every is None:
+            raise ValueError(f"{self.kind}: 'jitter' only applies to recurring events")
+        if self.duration < 0:
+            raise ValueError(f"{self.kind}: 'duration' must be >= 0")
+        if self.kind in _LINK_KINDS:
+            if not self.target:
+                raise ValueError(f"{self.kind}: a link 'target' is required")
+            if self.duration <= 0:
+                raise ValueError(f"{self.kind}: 'duration' must be positive")
+        if self.kind == "link_loss" and not (0.0 < self.rate <= 1.0):
+            raise ValueError(f"link_loss: 'rate' must be in (0, 1], got {self.rate!r}")
+        if self.kind == "link_latency" and self.extra_delay <= 0:
+            raise ValueError("link_latency: 'extra_delay' must be positive")
+        if self.kind == "clone_faults":
+            if not (0.0 < self.rate <= 1.0):
+                raise ValueError(
+                    f"clone_faults: 'rate' must be in (0, 1], got {self.rate!r}"
+                )
+            if self.duration <= 0:
+                raise ValueError("clone_faults: 'duration' must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict, omitting fields at their defaults."""
+        out: Dict[str, Any] = {"kind": self.kind}
+        for key, value in asdict(self).items():
+            if key == "kind":
+                continue
+            default = type(self).__dataclass_fields__[key].default
+            if value != default:
+                out[key] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultSpec":
+        unknown = set(data) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(f"fault spec has unknown fields: {sorted(unknown)}")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus an ordered tuple of fault events.
+
+    The empty plan (no events) is valid and is the guarantee the rest of
+    the system leans on: with no events scheduled, every fault hook stays
+    unarmed and the run is bit-identical to one without a chaos
+    controller at all.
+    """
+
+    events: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seed": self.seed, "events": [e.to_dict() for e in self.events]}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        unknown = set(data) - {"seed", "events"}
+        if unknown:
+            raise ValueError(f"fault plan has unknown fields: {sorted(unknown)}")
+        events = tuple(FaultSpec.from_dict(e) for e in data.get("events", []))
+        return cls(events=events, seed=int(data.get("seed", 0)))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "FaultPlan":
+        return cls.from_json(Path(path).read_text())
+
+
+# ---------------------------------------------------------------------- #
+# Builder helpers (the programmatic face of the DSL)
+# ---------------------------------------------------------------------- #
+
+def _schedule(at: Optional[float], every: Optional[float]) -> Dict[str, Any]:
+    return {"at": at, "every": every}
+
+
+def host_crash(
+    at: Optional[float] = None,
+    every: Optional[float] = None,
+    host: str = "random",
+    repair_after: float = 0.0,
+    count: Optional[int] = None,
+    jitter: float = 0.0,
+) -> FaultSpec:
+    """A physical host goes down; ``repair_after`` of 0 means forever.
+
+    ``host`` is a farm host index (``"0"``), a host name (``"host-0"``),
+    or ``"random"`` (a seeded pick among hosts currently up).
+    """
+    return FaultSpec(
+        kind="host_crash", target=str(host), duration=repair_after,
+        count=count, jitter=jitter, **_schedule(at, every),
+    )
+
+
+def link_outage(
+    target: str,
+    duration: float,
+    at: Optional[float] = None,
+    every: Optional[float] = None,
+    count: Optional[int] = None,
+    jitter: float = 0.0,
+) -> FaultSpec:
+    """The named link delivers nothing for ``duration`` seconds."""
+    return FaultSpec(
+        kind="link_outage", target=target, duration=duration,
+        count=count, jitter=jitter, **_schedule(at, every),
+    )
+
+
+def link_loss(
+    target: str,
+    duration: float,
+    rate: float,
+    at: Optional[float] = None,
+    every: Optional[float] = None,
+    count: Optional[int] = None,
+    jitter: float = 0.0,
+) -> FaultSpec:
+    """A loss burst: ``rate`` extra loss on the link for ``duration``."""
+    return FaultSpec(
+        kind="link_loss", target=target, duration=duration, rate=rate,
+        count=count, jitter=jitter, **_schedule(at, every),
+    )
+
+
+def link_latency(
+    target: str,
+    duration: float,
+    extra_delay: float,
+    at: Optional[float] = None,
+    every: Optional[float] = None,
+    count: Optional[int] = None,
+    jitter: float = 0.0,
+) -> FaultSpec:
+    """A latency spike: ``extra_delay`` seconds added for ``duration``."""
+    return FaultSpec(
+        kind="link_latency", target=target, duration=duration,
+        extra_delay=extra_delay, count=count, jitter=jitter,
+        **_schedule(at, every),
+    )
+
+
+def clone_faults(
+    duration: float,
+    rate: float,
+    at: Optional[float] = None,
+    every: Optional[float] = None,
+    count: Optional[int] = None,
+    jitter: float = 0.0,
+) -> FaultSpec:
+    """Flash clones fail with probability ``rate`` for ``duration``."""
+    return FaultSpec(
+        kind="clone_faults", duration=duration, rate=rate,
+        count=count, jitter=jitter, **_schedule(at, every),
+    )

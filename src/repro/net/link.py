@@ -6,6 +6,15 @@ store-and-forward serialization at the configured bandwidth, with i.i.d.
 random loss — because the paper's results are dominated by control-plane
 latencies (cloning) and policy, not by queueing; but the serialization
 term matters for the gateway-throughput experiment, so it is kept.
+
+On top of the static parameters, a link carries optional *time-varying
+impairment state* for the chaos subsystem (:mod:`repro.faults`): outage
+windows (nothing delivered), loss bursts (extra loss layered on the base
+rate), and latency spikes (extra propagation delay). Windows start at
+the current sim time, expire lazily, and cost an un-impaired link a
+single flag check per delivery. FIFO ordering is preserved across
+impairment transitions: a packet submitted during a latency spike can
+delay later packets, but never lets them overtake it.
 """
 
 from __future__ import annotations
@@ -26,7 +35,8 @@ class Link:
     lost. ``bandwidth`` is in bytes/second; ``None`` means infinite (no
     serialization delay). Deliveries on one link maintain FIFO order: a
     packet is never delivered before one submitted earlier (the link
-    tracks when its transmitter frees up).
+    tracks when its transmitter frees up, and clamps arrivals so
+    time-varying latency spikes cannot reorder in-flight packets).
     """
 
     def __init__(
@@ -56,21 +66,121 @@ class Link:
         self.name = name
         self.delivered = 0
         self.lost = 0
+        self.lost_burst = 0
+        self.lost_outage = 0
         self.bytes_delivered = 0
         self._transmitter_free_at = 0.0
+        self._last_arrival = 0.0
+        # Impairment windows (absolute sim times); `_impaired` is the
+        # fast-path flag so a healthy link pays one falsy check.
+        self._impaired = False
+        self._down_until = 0.0
+        self._burst_until = 0.0
+        self._burst_loss_rate = 0.0
+        self._delay_until = 0.0
+        self._extra_delay = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Impairment control (the chaos subsystem's surface)
+    # ------------------------------------------------------------------ #
+
+    def impair(
+        self,
+        duration: float,
+        down: bool = False,
+        loss_rate: Optional[float] = None,
+        extra_delay: Optional[float] = None,
+    ) -> None:
+        """Open an impairment window of ``duration`` seconds from now.
+
+        ``down`` blacks the link out entirely; ``loss_rate`` adds a loss
+        burst on top of the base rate (1.0 = drop everything, usable
+        without an rng); ``extra_delay`` adds a latency spike. Multiple
+        calls extend or re-parameterize windows; they expire lazily on
+        the next delivery after their end time.
+        """
+        if duration <= 0:
+            raise ValueError(f"impairment duration must be positive: {duration!r}")
+        until = self.sim.now + duration
+        if down:
+            self._down_until = max(self._down_until, until)
+        if loss_rate is not None:
+            if not (0.0 < loss_rate <= 1.0):
+                raise ValueError(f"burst loss_rate must be in (0, 1]: {loss_rate!r}")
+            if loss_rate < 1.0 and self.rng is None:
+                raise ValueError("a loss burst below 1.0 needs an rng on the link")
+            self._burst_loss_rate = loss_rate
+            self._burst_until = max(self._burst_until, until)
+        if extra_delay is not None:
+            if extra_delay <= 0:
+                raise ValueError(f"extra_delay must be positive: {extra_delay!r}")
+            self._extra_delay = extra_delay
+            self._delay_until = max(self._delay_until, until)
+        if not (down or loss_rate is not None or extra_delay is not None):
+            raise ValueError("impair() needs down, loss_rate, or extra_delay")
+        self._impaired = True
+
+    def clear_impairments(self) -> None:
+        """Cancel every active impairment window immediately."""
+        self._impaired = False
+        self._down_until = self._burst_until = self._delay_until = 0.0
+        self._burst_loss_rate = self._extra_delay = 0.0
+
+    @property
+    def impaired(self) -> bool:
+        """Whether any impairment window covers the current sim time."""
+        if not self._impaired:
+            return False
+        now = self.sim.now
+        return now < self._down_until or now < self._burst_until or now < self._delay_until
+
+    # ------------------------------------------------------------------ #
+    # Delivery
+    # ------------------------------------------------------------------ #
 
     def deliver(self, obj: Any, size: int) -> bool:
         """Submit ``obj`` (``size`` bytes) for delivery.
 
-        Returns False if the packet was dropped by the loss process.
+        Returns False if the packet was dropped (loss process, loss
+        burst, or outage window).
         """
-        if self.loss_rate > 0.0 and self.rng is not None and self.rng.bernoulli(self.loss_rate):
-            self.lost += 1
+        loss = self.loss_rate
+        extra = 0.0
+        in_burst = False
+        if self._impaired:
+            now = self.sim.now
+            if (
+                now >= self._down_until
+                and now >= self._burst_until
+                and now >= self._delay_until
+            ):
+                self.clear_impairments()
+            else:
+                if now < self._down_until:
+                    self.lost_outage += 1
+                    return False
+                if now < self._burst_until:
+                    loss = min(1.0, loss + self._burst_loss_rate)
+                    in_burst = True
+                if now < self._delay_until:
+                    extra = self._extra_delay
+        if loss > 0.0 and (
+            loss >= 1.0 or (self.rng is not None and self.rng.bernoulli(loss))
+        ):
+            if in_burst:
+                self.lost_burst += 1
+            else:
+                self.lost += 1
             return False
         start = max(self.sim.now, self._transmitter_free_at)
         serialization = (size / self.bandwidth) if self.bandwidth is not None else 0.0
         self._transmitter_free_at = start + serialization
-        arrival = self._transmitter_free_at + self.propagation_delay
+        arrival = self._transmitter_free_at + self.propagation_delay + extra
+        # FIFO clamp: a latency spike on an earlier packet must delay this
+        # one rather than let it overtake.
+        if arrival < self._last_arrival:
+            arrival = self._last_arrival
+        self._last_arrival = arrival
         self.sim.schedule_at(arrival, self._arrive, obj, size)
         return True
 
@@ -80,4 +190,7 @@ class Link:
         self.sink(obj)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Link {self.name!r} delivered={self.delivered} lost={self.lost}>"
+        return (
+            f"<Link {self.name!r} delivered={self.delivered} lost={self.lost}"
+            f" lost_burst={self.lost_burst} lost_outage={self.lost_outage}>"
+        )

@@ -45,10 +45,15 @@ class PhysicalHost:
         memory_bytes: int = DEFAULT_HOST_MEMORY_BYTES,
         max_vms: int = DEFAULT_MAX_VMS,
         name: Optional[str] = None,
+        host_id: Optional[int] = None,
     ) -> None:
         if max_vms <= 0:
             raise ValueError(f"max_vms must be positive: {max_vms!r}")
-        self.host_id = next(_host_ids)
+        # Callers that own a cluster (the Honeyfarm) pass farm-local ids so
+        # two identically-seeded farms in one process build identical
+        # clusters; the process-global counter is only the standalone
+        # fallback.
+        self.host_id = next(_host_ids) if host_id is None else int(host_id)
         self.name = name or f"host-{self.host_id}"
         self.memory = MachineMemory(memory_bytes)
         self.max_vms = max_vms
@@ -57,6 +62,9 @@ class PhysicalHost:
         self.vms_created_total = 0
         self.vms_destroyed_total = 0
         self.peak_live_vms = 0
+        self.failed = False
+        self.failures_total = 0
+        self.repairs_total = 0
 
     # ------------------------------------------------------------------ #
     # Snapshots
@@ -88,10 +96,12 @@ class PhysicalHost:
         return len(self._vms)
 
     def has_vm_slot(self) -> bool:
-        return self.live_vms < self.max_vms
+        return not self.failed and self.live_vms < self.max_vms
 
     def admit(self, vm: VirtualMachine) -> None:
         """Register a newly created VM on this host."""
+        if self.failed:
+            raise HostCapacityError(f"{self.name} is down; repair it first")
         if not self.has_vm_slot():
             raise HostCapacityError(
                 f"{self.name} at VM ceiling ({self.max_vms}); reclaim first"
@@ -130,6 +140,37 @@ class PhysicalHost:
         ]
         idle.sort(key=lambda vm: vm.last_activity)
         return idle
+
+    # ------------------------------------------------------------------ #
+    # Crash and repair (the chaos subsystem's mechanism layer)
+    # ------------------------------------------------------------------ #
+
+    def fail(self, now: float) -> List[VirtualMachine]:
+        """Crash the host: every resident VM is destroyed and admission
+        is refused until :meth:`repair`.
+
+        Returns the destroyed VMs so the orchestrator can unwind the
+        state bound to them (gateway maps, pending queues, pool slots).
+        The reference snapshots stay accounted against the frame pool: a
+        repair models a reboot that re-imports the same images.
+        """
+        if self.failed:
+            raise ValueError(f"{self.name} is already down")
+        self.failed = True
+        self.failures_total += 1
+        victims = list(self._vms.values())
+        for vm in victims:
+            vm.destroy(now)
+        self._vms.clear()
+        self.vms_destroyed_total += len(victims)
+        return victims
+
+    def repair(self) -> None:
+        """Bring a crashed host back into admission rotation."""
+        if not self.failed:
+            raise ValueError(f"{self.name} is not down")
+        self.failed = False
+        self.repairs_total += 1
 
     # ------------------------------------------------------------------ #
     # Capacity reporting

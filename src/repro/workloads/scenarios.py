@@ -25,6 +25,7 @@ __all__ = [
     "small_farm",
     "telescope_scenario",
     "outbreak_scenario",
+    "chaos_drill_scenario",
 ]
 
 
@@ -84,3 +85,50 @@ def outbreak_scenario(
         in_farm_scan_rate=min(worm.scan_rate, 10.0),
     )
     return farm, InternetOutbreak(farm, worm, config)
+
+
+def chaos_drill_scenario(
+    crash_at: float = 60.0,
+    repair_after: float = 30.0,
+    plan: Optional["FaultPlan"] = None,
+    **farm_overrides,
+):
+    """The golden chaos drill: a worm outbreak with a mid-run host crash.
+
+    A two-host /24 farm takes a codered outbreak; one host crashes at
+    ``crash_at`` (default 60 s, well into the epidemic) and rejoins
+    ``repair_after`` seconds later. The gateway's pending-queue watchdog
+    is armed so packets stuck behind dead clones fail over instead of
+    leaking. Pass ``plan`` to override the fault plan entirely (the
+    crash/repair arguments are then ignored).
+
+    The reflected in-farm epidemic is throttled to 2 scans/s per
+    infected honeypot — the containment/recovery interaction is
+    rate-independent, and at the native rate the reflected scans
+    dominate simulation cost without adding insight. Pass an explicit
+    ``outbreak=OutbreakConfig(...)`` to change the budget.
+
+    Returns ``(farm, outbreak, controller)``; the caller starts both::
+
+        farm, outbreak, controller = chaos_drill_scenario()
+        outbreak.start()
+        controller.start()
+        farm.run(until=120.0)
+    """
+    from repro.faults import ChaosController, FaultPlan, host_crash
+
+    overrides = {
+        "num_hosts": 2,
+        "pending_timeout_seconds": 10.0,
+        "seed": 42,
+        "outbreak": OutbreakConfig(telescope_fraction=1e-3, in_farm_scan_rate=2.0),
+        **farm_overrides,
+    }
+    farm, outbreak = outbreak_scenario(worm_name="codered", **overrides)
+    if plan is None:
+        plan = FaultPlan(
+            events=(host_crash(at=crash_at, host="0", repair_after=repair_after),),
+            seed=7,
+        )
+    controller = ChaosController(farm, plan)
+    return farm, outbreak, controller

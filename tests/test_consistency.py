@@ -65,6 +65,56 @@ class TestLiveFarmMatchesOfflineAnalysis:
         assert live_spawned == pytest.approx(offline.vm_instantiations, rel=0.1)
 
 
+class TestTwoFarmsOneProcess:
+    """Farm state must be process-global-free: two identically configured
+    farms built side by side in one process behave identically.
+
+    This pins the farm-local ``PhysicalHost`` ids — with a process-global
+    host counter the second farm's hosts would be named ``host-4``
+    onwards, diverging placement hashes, metrics, and fault-plan targets.
+    """
+
+    @staticmethod
+    def _config():
+        return HoneyfarmConfig(
+            prefixes=("10.16.0.0/25",), num_hosts=2,
+            idle_timeout_seconds=20.0, sweep_interval_seconds=0.5,
+            clone_jitter=0.0, seed=9,
+        )
+
+    def test_side_by_side_farms_are_identical(self):
+        config = self._config()
+        workload = TelescopeWorkload(
+            config.parsed_prefixes(),
+            TelescopeConfig(seed=31, sources_per_second_per_slash16=64.0),
+        )
+        records = workload.generate(30.0)
+
+        # Construct both farms *before* running either: any shared
+        # process-global id sequence would skew the second one.
+        farm_a = Honeyfarm(self._config())
+        farm_b = Honeyfarm(self._config())
+
+        assert [h.name for h in farm_a.hosts] == [h.name for h in farm_b.hosts]
+
+        for farm in (farm_a, farm_b):
+            replay_into_farm(farm, records)
+            farm.run(until=60.0)
+
+        assert farm_a.metrics.counters() == farm_b.metrics.counters()
+        assert farm_a.sim.events_processed == farm_b.sim.events_processed
+        series_a = farm_a.metrics.series("farm.live_vms_series")
+        series_b = farm_b.metrics.series("farm.live_vms_series")
+        assert series_a.times == series_b.times
+        assert series_a.values == series_b.values
+
+    def test_host_ids_restart_per_farm(self):
+        farm_a = Honeyfarm(self._config())
+        farm_b = Honeyfarm(self._config())
+        assert [h.name for h in farm_b.hosts] == ["host-0", "host-1"]
+        assert [h.name for h in farm_a.hosts] == ["host-0", "host-1"]
+
+
 class TestLatencyModelInternalConsistency:
     def test_engine_reproduces_cost_model_exactly(self):
         """Jitter-free clone latency through the whole farm equals the

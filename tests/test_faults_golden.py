@@ -1,0 +1,116 @@
+"""Golden-determinism guard for the chaos subsystem.
+
+Runs the fixed-seed chaos drill — a codered outbreak on a two-host /24
+farm with a host crash at t=60 s and repair at t=90 s — and renders the
+recovery report plus full metric state. The rendering must be
+byte-identical to the committed golden file: any change to fault
+scheduling, crash unwinding, respawn backoff, or the packet-ledger
+accounting shows up here as a diff.
+
+The drill is the most expensive fixture in the suite, so the scenario
+runs once at module scope and the assertion tests share the result; only
+the within-process determinism test pays for a second run.
+
+Beyond byte-stability, the scenario pins the two headline recovery
+properties: the live-VM level returns to its pre-crash value, and the
+packet ledger reconciles with zero leaked packets.
+
+Regenerate (after an intentional behaviour change) with::
+
+    PYTHONPATH=src python tests/test_faults_golden.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.recovery import recovery_report
+from repro.workloads.scenarios import chaos_drill_scenario
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "chaos_drill_summary.txt"
+
+DURATION = 120.0
+CRASH_AT = 60.0
+REPAIR_AFTER = 30.0
+
+_CACHED = None  # (farm, controller, rendered) — one shared drill run
+
+
+def run_scenario():
+    farm, outbreak, controller = chaos_drill_scenario(
+        crash_at=CRASH_AT, repair_after=REPAIR_AFTER
+    )
+    outbreak.start()
+    controller.start()
+    farm.run(until=DURATION)
+    return farm, controller
+
+
+def render(farm, controller) -> str:
+    report = recovery_report(farm, controller)
+    lines = [
+        f"events_processed={farm.sim.events_processed}",
+        f"now={farm.sim.now!r}",
+        f"live_vms={farm.live_vms}",
+        f"infections={farm.infection_count()}",
+        f"faults_fired={controller.faults_fired}",
+        "counters=" + json.dumps(farm.metrics.counters(), sort_keys=True),
+        "recovery:",
+        report.render(),
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def shared_run():
+    global _CACHED
+    if _CACHED is None:
+        farm, controller = run_scenario()
+        _CACHED = (farm, controller, render(farm, controller))
+    return _CACHED
+
+
+def test_chaos_drill_matches_golden():
+    assert GOLDEN_PATH.exists(), (
+        f"golden file missing: {GOLDEN_PATH} — regenerate with "
+        "`PYTHONPATH=src python tests/test_faults_golden.py --regen`"
+    )
+    _, _, rendered = shared_run()
+    assert rendered == GOLDEN_PATH.read_text()
+
+
+def test_chaos_drill_is_deterministic_within_process():
+    _, _, rendered = shared_run()
+    farm, controller = run_scenario()
+    assert render(farm, controller) == rendered
+
+
+def test_live_vm_level_recovers_to_pre_crash():
+    farm, controller, _ = shared_run()
+    outcomes = recovery_report(farm, controller).outcomes
+    assert len(outcomes) == 1
+    outcome = outcomes[0]
+    assert outcome.pre_fault_live > 0
+    assert outcome.min_live < outcome.pre_fault_live  # the crash bit
+    assert outcome.mttr is not None  # ...and the farm healed
+    series = farm.metrics.series("farm.live_vms_series")
+    assert series.values[-1] >= outcome.pre_fault_live
+
+
+def test_packet_ledger_reconciles_with_zero_leaked():
+    farm, controller, _ = shared_run()
+    ledger = recovery_report(farm, controller).ledger
+    assert ledger.packets_in > 0
+    assert ledger.leaked == 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    farm, controller = run_scenario()
+    if "--regen" in sys.argv:
+        GOLDEN_PATH.parent.mkdir(exist_ok=True)
+        GOLDEN_PATH.write_text(render(farm, controller))
+        print(f"wrote {GOLDEN_PATH}")
+    else:
+        print(render(farm, controller), end="")

@@ -1,0 +1,180 @@
+"""FaultPlan DSL: validation, JSON round-trips, builders, and backoff."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    FaultSpec,
+    backoff_delay,
+    clone_faults,
+    host_crash,
+    link_latency,
+    link_loss,
+    link_outage,
+)
+from repro.sim.rand import SeedSequence
+
+
+# ---------------------------------------------------------------------- #
+# FaultSpec validation
+# ---------------------------------------------------------------------- #
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultSpec(kind="meteor_strike", at=1.0)
+
+
+def test_exactly_one_schedule_required():
+    with pytest.raises(ValueError, match="exactly one"):
+        FaultSpec(kind="host_crash", at=1.0, every=2.0)
+    with pytest.raises(ValueError, match="exactly one"):
+        FaultSpec(kind="host_crash")
+
+
+def test_negative_at_rejected():
+    with pytest.raises(ValueError, match="'at' must be >= 0"):
+        FaultSpec(kind="host_crash", at=-1.0)
+
+
+def test_count_requires_every():
+    with pytest.raises(ValueError, match="'count' requires 'every'"):
+        FaultSpec(kind="host_crash", at=1.0, count=3)
+
+
+def test_jitter_requires_recurring():
+    with pytest.raises(ValueError, match="jitter"):
+        FaultSpec(kind="host_crash", at=1.0, jitter=0.1)
+
+
+def test_link_kinds_require_target_and_duration():
+    with pytest.raises(ValueError, match="'target' is required"):
+        FaultSpec(kind="link_outage", at=1.0, duration=5.0)
+    with pytest.raises(ValueError, match="'duration' must be positive"):
+        FaultSpec(kind="link_outage", at=1.0, target="tunnel:1")
+
+
+def test_link_loss_rate_bounds():
+    with pytest.raises(ValueError, match="rate"):
+        link_loss("tunnel:1", duration=3.0, rate=0.0, at=1.0)
+    with pytest.raises(ValueError, match="rate"):
+        link_loss("tunnel:1", duration=3.0, rate=1.5, at=1.0)
+
+
+def test_link_latency_needs_extra_delay():
+    with pytest.raises(ValueError, match="extra_delay"):
+        FaultSpec(kind="link_latency", at=1.0, target="t", duration=1.0)
+
+
+def test_clone_faults_needs_rate_and_duration():
+    with pytest.raises(ValueError, match="rate"):
+        FaultSpec(kind="clone_faults", at=1.0, duration=5.0)
+    with pytest.raises(ValueError, match="duration"):
+        FaultSpec(kind="clone_faults", at=1.0, rate=0.5)
+
+
+# ---------------------------------------------------------------------- #
+# Builders and round-trips
+# ---------------------------------------------------------------------- #
+
+def _sample_plan() -> FaultPlan:
+    return FaultPlan(
+        events=(
+            host_crash(at=60.0, host="0", repair_after=30.0),
+            host_crash(every=120.0, count=3, jitter=0.1, repair_after=20.0),
+            link_outage("tunnel:1", duration=5.0, at=10.0),
+            link_loss("tunnel:1", duration=3.0, rate=0.5, at=20.0),
+            link_latency("tunnel:1", duration=2.0, extra_delay=0.2, at=30.0),
+            clone_faults(duration=50.0, rate=0.1, at=5.0),
+        ),
+        seed=7,
+    )
+
+
+def test_json_roundtrip_is_identity():
+    plan = _sample_plan()
+    assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+def test_file_roundtrip(tmp_path):
+    plan = _sample_plan()
+    path = tmp_path / "plan.json"
+    path.write_text(plan.to_json())
+    assert FaultPlan.from_file(path) == plan
+
+
+def test_to_dict_omits_defaults():
+    spec = host_crash(at=60.0, host="0", repair_after=30.0)
+    assert spec.to_dict() == {
+        "kind": "host_crash", "at": 60.0, "target": "0", "duration": 30.0,
+    }
+
+
+def test_unknown_fields_rejected():
+    with pytest.raises(ValueError, match="unknown fields"):
+        FaultSpec.from_dict({"kind": "host_crash", "at": 1.0, "blast_radius": 9})
+    with pytest.raises(ValueError, match="unknown fields"):
+        FaultPlan.from_dict({"seed": 1, "events": [], "extra": True})
+
+
+def test_json_schema_matches_docstring_example():
+    plan = FaultPlan.from_json(json.dumps({
+        "seed": 7,
+        "events": [
+            {"kind": "host_crash", "at": 60.0, "target": "0", "duration": 30.0},
+            {"kind": "clone_faults", "at": 5.0, "duration": 50.0, "rate": 0.1},
+        ],
+    }))
+    assert len(plan) == 2
+    assert plan.seed == 7
+    assert plan.events[0].kind == "host_crash"
+
+
+def test_empty_plan_is_falsy():
+    assert not FaultPlan()
+    assert len(FaultPlan()) == 0
+    assert _sample_plan()
+
+
+# ---------------------------------------------------------------------- #
+# Backoff
+# ---------------------------------------------------------------------- #
+
+def test_backoff_doubles_then_caps():
+    delays = [backoff_delay(a, base=0.5, cap=8.0) for a in range(8)]
+    assert delays == [0.5, 1.0, 2.0, 4.0, 8.0, 8.0, 8.0, 8.0]
+
+
+def test_backoff_huge_attempt_does_not_overflow():
+    assert backoff_delay(10_000, base=0.5, cap=8.0) == 8.0
+
+
+def test_backoff_jitter_stays_in_bounds():
+    rng = SeedSequence(3).stream("backoff")
+    for attempt in range(20):
+        delay = backoff_delay(attempt, base=0.5, cap=8.0, jitter=0.2, rng=rng)
+        nominal = min(8.0, 0.5 * 2 ** attempt)
+        assert nominal * 0.8 <= delay <= nominal * 1.2
+        assert delay != nominal  # jitter actually applied (a.s. for U(-j,j))
+
+
+def test_backoff_deterministic_per_seed():
+    a = SeedSequence(9).stream("backoff")
+    b = SeedSequence(9).stream("backoff")
+    seq_a = [backoff_delay(i, base=1.0, cap=16.0, jitter=0.3, rng=a) for i in range(10)]
+    seq_b = [backoff_delay(i, base=1.0, cap=16.0, jitter=0.3, rng=b) for i in range(10)]
+    assert seq_a == seq_b
+
+
+def test_backoff_validation():
+    with pytest.raises(ValueError):
+        backoff_delay(-1, base=1.0, cap=2.0)
+    with pytest.raises(ValueError):
+        backoff_delay(0, base=0.0, cap=2.0)
+    with pytest.raises(ValueError):
+        backoff_delay(0, base=4.0, cap=2.0)
+    with pytest.raises(ValueError):
+        backoff_delay(0, base=1.0, cap=2.0, jitter=1.0)
