@@ -1,0 +1,234 @@
+"""Flight-recorder trace analysis: load, filter, and summarize JSONL traces.
+
+Consumes the JSONL stream written by
+:meth:`repro.obs.recorder.FlightRecorder.dump` and answers the questions
+the trace exists for:
+
+* **What happened, where?** — :func:`subsystem_breakdown` and
+  :func:`verdict_counts` aggregate the event stream per subsystem and
+  per dispatch verdict.
+* **How long did dispatch take?** — :func:`dispatch_latencies`
+  reconstructs, per address, the time from the first packet that
+  triggered a flash clone (``verdict=clone_requested``) to the moment
+  the gateway flushed that address's queue into the running VM
+  (``verdict=flushed``) — the paper's first-packet-to-ready latency, as
+  seen from the trace alone.
+* **Show me the gateway's decisions** — :func:`parse_filter` /
+  :func:`filter_events` implement the CLI's ``--filter subsystem=gateway``
+  narrowing, and :func:`format_event` renders single events for the
+  ``--tail`` (follow-style) view.
+
+Every function operates on plain dicts (one per JSONL line), so traces
+can also be post-processed with ordinary ``json``/pandas tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.analysis.report import format_table
+
+__all__ = [
+    "load_trace",
+    "iter_trace",
+    "parse_filter",
+    "filter_events",
+    "subsystem_breakdown",
+    "verdict_counts",
+    "dispatch_latencies",
+    "format_event",
+    "render_trace_summary",
+]
+
+#: CLI-friendly aliases for the compact JSONL keys.
+_FILTER_ALIASES = {"subsystem": "sub", "event": "ev", "time": "t"}
+
+#: Keys rendered first (and excluded from the free-field tail) by
+#: :func:`format_event`.
+_CORE_KEYS = ("t", "seq", "sub", "ev")
+
+
+def iter_trace(path: Any) -> Iterator[Dict[str, Any]]:
+    """Yield one event dict per non-empty line of a JSONL trace file."""
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def load_trace(path: Any) -> List[Dict[str, Any]]:
+    """Load a whole JSONL trace into memory."""
+    return list(iter_trace(path))
+
+
+def parse_filter(expression: str) -> Tuple[str, str]:
+    """Parse one ``key=value`` filter expression (CLI ``--filter``).
+
+    ``subsystem``/``event``/``time`` alias the compact JSONL keys
+    ``sub``/``ev``/``t``.
+    """
+    key, sep, value = expression.partition("=")
+    if not sep or not key or not value:
+        raise ValueError(f"filter must look like key=value, got {expression!r}")
+    return _FILTER_ALIASES.get(key, key), value
+
+
+def filter_events(
+    events: Iterable[Dict[str, Any]], filters: Iterable[Tuple[str, str]]
+) -> List[Dict[str, Any]]:
+    """Keep events whose fields match every ``(key, value)`` filter.
+
+    Values compare as strings, so ``vm_id=7`` matches the integer field.
+    Events missing a filtered key never match.
+    """
+    criteria = list(filters)
+    out = []
+    for event in events:
+        for key, value in criteria:
+            if key not in event or str(event[key]) != value:
+                break
+        else:
+            out.append(event)
+    return out
+
+
+def subsystem_breakdown(
+    events: Iterable[Dict[str, Any]],
+) -> Dict[str, Dict[str, float]]:
+    """Events, first and last sim-time per subsystem."""
+    out: Dict[str, Dict[str, float]] = {}
+    for event in events:
+        sub = event.get("sub", "unknown")
+        cell = out.get(sub)
+        if cell is None:
+            out[sub] = {
+                "events": 1,
+                "first_t": event["t"],
+                "last_t": event["t"],
+            }
+        else:
+            cell["events"] += 1
+            if event["t"] < cell["first_t"]:
+                cell["first_t"] = event["t"]
+            if event["t"] > cell["last_t"]:
+                cell["last_t"] = event["t"]
+    return {sub: out[sub] for sub in sorted(out)}
+
+
+def verdict_counts(events: Iterable[Dict[str, Any]]) -> Dict[str, int]:
+    """Dispatch-verdict histogram over gateway dispatch events."""
+    counts: Dict[str, int] = {}
+    for event in events:
+        if event.get("sub") == "gateway" and event.get("ev") == "dispatch":
+            verdict = event.get("verdict", "unknown")
+            counts[verdict] = counts.get(verdict, 0) + 1
+    return {verdict: counts[verdict] for verdict in sorted(counts)}
+
+
+def dispatch_latencies(
+    events: Iterable[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Reconstruct per-address first-packet-to-flush latency.
+
+    For each destination address, pairs the ``clone_requested`` dispatch
+    event (the first packet arriving for a cold address) with the first
+    subsequent ``flushed`` event for the same address (the gateway
+    draining that address's pending queue into the now-running VM).
+    Addresses whose clone never delivered within the trace are omitted.
+    """
+    requested: Dict[str, float] = {}
+    latencies: List[Dict[str, Any]] = []
+    for event in events:
+        if event.get("sub") != "gateway" or event.get("ev") != "dispatch":
+            continue
+        verdict = event.get("verdict")
+        dst = event.get("dst")
+        if verdict == "clone_requested":
+            # Keep the *first* request; a respawned address restarts it.
+            requested.setdefault(dst, event["t"])
+        elif verdict == "flushed" and dst in requested:
+            t0 = requested.pop(dst)
+            latencies.append({"dst": dst, "requested_t": t0,
+                              "flushed_t": event["t"],
+                              "latency": event["t"] - t0})
+    return latencies
+
+
+def format_event(event: Dict[str, Any]) -> str:
+    """One-line rendering of an event for the ``--tail`` view."""
+    fields = " ".join(
+        f"{key}={event[key]}" for key in sorted(event) if key not in _CORE_KEYS
+    )
+    head = (
+        f"[{event.get('t', 0.0):>10.4f}s] "
+        f"{event.get('sub', '?')}.{event.get('ev', '?')}"
+    )
+    return f"{head} {fields}" if fields else head
+
+
+def render_trace_summary(
+    events: List[Dict[str, Any]],
+    timing: Optional[Dict[str, Dict[str, float]]] = None,
+    evicted: int = 0,
+) -> str:
+    """The full plain-text summary the ``trace`` CLI prints.
+
+    ``timing`` is a :meth:`FlightRecorder.timing_summary` dict (only
+    available in record mode — wall-clock timing is not serialized into
+    the deterministic JSONL stream).
+    """
+    sections: List[str] = []
+
+    breakdown = subsystem_breakdown(events)
+    rows = []
+    for sub, cell in breakdown.items():
+        row = [sub, int(cell["events"]),
+               f"{cell['first_t']:.2f}", f"{cell['last_t']:.2f}"]
+        if timing is not None:
+            t = timing.get(sub)
+            row.append(f"{t['wall_seconds'] * 1e3:.1f}" if t else "-")
+        rows.append(row)
+    if timing is not None:
+        # Subsystems that ran callbacks but never emitted events still
+        # burned wall-clock time; show them so the breakdown sums up.
+        for sub, t in timing.items():
+            if sub not in breakdown:
+                rows.append([sub, 0, "-", "-", f"{t['wall_seconds'] * 1e3:.1f}"])
+    headers = ["subsystem", "events", "first (s)", "last (s)"]
+    if timing is not None:
+        headers.append("wall (ms)")
+    title = f"Per-subsystem breakdown ({len(events)} events"
+    title += f", {evicted} evicted)" if evicted else ")"
+    sections.append(format_table(headers, rows, title=title))
+
+    verdicts = verdict_counts(events)
+    if verdicts:
+        sections.append(format_table(
+            ["verdict", "packets"],
+            [[verdict, count] for verdict, count in verdicts.items()],
+            title="Gateway dispatch verdicts",
+        ))
+
+    latencies = dispatch_latencies(events)
+    if latencies:
+        values = sorted(item["latency"] for item in latencies)
+        count = len(values)
+        mean = sum(values) / count
+        p50 = values[count // 2]
+        p99 = values[min(count - 1, int(count * 0.99))]
+        sections.append(format_table(
+            ["metric", "value"],
+            [
+                ["addresses reconstructed", count],
+                ["mean (ms)", f"{mean * 1e3:.1f}"],
+                ["p50 (ms)", f"{p50 * 1e3:.1f}"],
+                ["p99 (ms)", f"{p99 * 1e3:.1f}"],
+                ["max (ms)", f"{values[-1] * 1e3:.1f}"],
+            ],
+            title="Dispatch latency (first packet -> queue flush)",
+        ))
+
+    return "\n\n".join(sections)

@@ -15,11 +15,15 @@ before writing code against the API:
 * ``potemkin chaos`` — a fault-injection drill: a worm outbreak with a
   mid-run host crash (or a JSON fault plan), ending in a recovery report
   whose packet ledger must balance.
+* ``potemkin trace`` — the flight recorder: re-run a scenario with the
+  structured event trace armed and dump JSONL, or inspect an existing
+  trace file (``--filter subsystem=gateway``, ``--tail 20``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -156,6 +160,76 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.analysis.trace import (
+        filter_events,
+        format_event,
+        load_trace,
+        parse_filter,
+        render_trace_summary,
+    )
+
+    try:
+        filters = [parse_filter(expr) for expr in (args.filter or [])]
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.input:
+        # Inspect mode: analyse a previously recorded trace.
+        events = load_trace(args.input)
+        timing = None
+        evicted = 0
+    else:
+        # Record mode: run the scenario with the flight recorder armed.
+        from repro.obs import FlightRecorder, install, uninstall
+        from repro.workloads.scenarios import chaos_drill_scenario
+
+        duration = args.duration
+        recorder = FlightRecorder(capacity=args.capacity)
+        install(recorder)
+        try:
+            if args.scenario == "chaos-drill":
+                crash_at, repair_after = args.crash_at, args.repair_after
+                if args.smoke:
+                    duration, crash_at, repair_after = 45.0, 25.0, 10.0
+                farm, outbreak, controller = chaos_drill_scenario(
+                    crash_at=crash_at,
+                    repair_after=repair_after,
+                    seed=args.seed,
+                )
+                outbreak.start()
+                controller.start()
+            else:  # outbreak
+                farm, outbreak = outbreak_scenario(seed=args.seed)
+                outbreak.start()
+            if args.snapshot_interval > 0:
+                recorder.start_snapshots(
+                    farm.sim, farm.metrics, args.snapshot_interval
+                )
+            farm.run(until=duration)
+        finally:
+            uninstall()
+        recorder.dump(args.output)
+        print(
+            f"recorded {recorder.emitted} event(s)"
+            f" ({recorder.evicted} evicted, capacity {args.capacity})"
+            f" over {duration:.0f}s simulated -> {args.output}\n"
+        )
+        events = [json.loads(line) for line in recorder.iter_jsonl()]
+        timing = recorder.timing_summary()
+        evicted = recorder.evicted
+
+    if filters:
+        events = filter_events(events, filters)
+    if args.tail:
+        for event in events[-args.tail:]:
+            print(format_event(event))
+        print()
+    print(render_trace_summary(events, timing=timing, evicted=evicted))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="potemkin",
@@ -221,6 +295,42 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--smoke", action="store_true",
                        help="short CI drill (45s, crash at 25s)")
     chaos.set_defaults(func=_cmd_chaos)
+
+    trace = sub.add_parser(
+        "trace", help="record or inspect a flight-recorder trace"
+    )
+    trace.add_argument(
+        "--input", default=None,
+        help="inspect an existing JSONL trace instead of recording one",
+    )
+    trace.add_argument(
+        "--scenario", default="chaos-drill", choices=["chaos-drill", "outbreak"],
+        help="scenario to record (ignored with --input)",
+    )
+    trace.add_argument("--duration", type=float, default=120.0,
+                       help="simulated seconds to record")
+    trace.add_argument("--crash-at", type=float, default=60.0,
+                       help="chaos-drill host crash time")
+    trace.add_argument("--repair-after", type=float, default=30.0,
+                       help="chaos-drill repair delay")
+    trace.add_argument("--seed", type=int, default=42)
+    trace.add_argument("--output", default="flight.jsonl",
+                       help="JSONL trace destination (record mode)")
+    trace.add_argument(
+        "--snapshot-interval", type=float, default=10.0,
+        help="sim-seconds between metric snapshots (0 disables)",
+    )
+    trace.add_argument("--capacity", type=int, default=100_000,
+                       help="ring-buffer size; oldest events evict beyond it")
+    trace.add_argument(
+        "--filter", action="append", default=None, metavar="KEY=VALUE",
+        help="keep only matching events, e.g. subsystem=gateway (repeatable)",
+    )
+    trace.add_argument("--tail", type=int, default=0, metavar="N",
+                       help="print the last N events follow-style")
+    trace.add_argument("--smoke", action="store_true",
+                       help="short CI drill (45s, crash at 25s)")
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 

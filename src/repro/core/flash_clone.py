@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.net.addr import IPAddress
+from repro.obs import recorder as _obs
 from repro.sim.engine import Simulator
 from repro.sim.metrics import MetricRegistry
 from repro.vmm.host import HostCapacityError, PhysicalHost
@@ -150,6 +151,12 @@ class FlashCloneEngine:
             stages = self.cost_model.flash_clone_stages()
         result = CloneResult(vm=vm, requested_at=self.sim.now, completed_at=0.0, stages=stages)
         total = sum(s.seconds for s in stages)
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.emit(
+                self.sim.now, "clone", "started",
+                ip=str(ip), vm_id=vm.vm_id, host=host.name, mode=self.mode,
+                eta_seconds=total,
+            )
         self.sim.schedule(total, self._complete, result, on_ready)
         return vm
 
@@ -162,6 +169,11 @@ class FlashCloneEngine:
         if not vm.is_live:
             # Reclaimed mid-clone (memory pressure, or its host crashed).
             self.metrics.counter("clone.aborted").increment()
+            if _obs.ACTIVE is not None:
+                _obs.ACTIVE.emit(
+                    self.sim.now, "clone", "aborted",
+                    ip=str(vm.ip), vm_id=vm.vm_id,
+                )
             return
         if self.fault_hook is not None:
             reason = self.fault_hook(vm)
@@ -170,12 +182,22 @@ class FlashCloneEngine:
                 result.failure_reason = reason
                 self.failures.append(result)
                 self.metrics.counter("clone.failed").increment()
+                if _obs.ACTIVE is not None:
+                    _obs.ACTIVE.emit(
+                        self.sim.now, "clone", "failed",
+                        ip=str(vm.ip), vm_id=vm.vm_id, reason=reason,
+                    )
                 if on_ready is not None:
                     on_ready(result)
                 return
         vm.start(self.sim.now)
         self.results.append(result)
         self.metrics.counter("clone.completed").increment()
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.emit(
+                self.sim.now, "clone", "completed",
+                ip=str(vm.ip), vm_id=vm.vm_id, seconds=result.total_seconds,
+            )
         self.metrics.histogram("clone.latency_seconds").observe(result.total_seconds)
         for stage in result.stages:
             self.metrics.histogram(f"clone.stage.{stage.stage}").observe(stage.seconds)

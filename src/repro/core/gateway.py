@@ -45,6 +45,7 @@ from repro.net.flow import FlowRecord, FlowTable
 from repro.net.gre import GrePacket, GreTunnel, decapsulate, encapsulate
 from repro.net.link import Link
 from repro.net.packet import Packet
+from repro.obs import recorder as _obs
 from repro.services.dns import DnsServer
 from repro.sim.engine import Event, Simulator
 from repro.sim.metrics import MetricRegistry
@@ -214,17 +215,23 @@ class Gateway:
             self.packet_tap(packet)
         if packet.ttl <= 0:
             self._c_ttl_expired.increment()
+            if _obs.ACTIVE is not None:
+                self._trace_dispatch("ttl_expired", packet)
             return
         if not self.inventory.covers(packet.dst):
             self._c_stray.increment()
+            if _obs.ACTIVE is not None:
+                self._trace_dispatch("stray", packet)
             return
-        record, __ = self.flows.observe(packet, self.sim.now)
+        record, created = self.flows.observe(packet, self.sim.now)
 
         vm = self.vm_map.get(packet.dst)
         if vm is None:
             vm = self.backend.spawn_vm(packet.dst)
             if vm is None:
                 self._c_no_capacity.increment()
+                if _obs.ACTIVE is not None:
+                    self._trace_dispatch("no_capacity", packet)
                 return
             self._c_clones_requested.increment()
             self.vm_map[packet.dst] = vm
@@ -235,6 +242,8 @@ class Gateway:
                 self._c_queued_during_clone.increment()
                 if self.pending_timeout is not None:
                     self._arm_pending_timer(packet.dst, vm)
+                if _obs.ACTIVE is not None:
+                    self._trace_dispatch("clone_requested", packet, vm_id=vm.vm_id)
                 return
         if vm.state is VMState.CLONING:
             queue = self._pending.get(packet.dst)
@@ -244,17 +253,45 @@ class Gateway:
                     self._arm_pending_timer(packet.dst, vm)
             if len(queue) >= self.max_pending_per_ip:
                 self._c_pending_overflow.increment()
+                # The observe() above already accounted this packet on
+                # its flow record, but the packet never reaches a VM:
+                # roll the accounting back, and drop the record entirely
+                # if this packet was the only thing it ever carried.
+                record.packets -= 1
+                record.bytes -= packet.size
+                if created and record.packets == 0:
+                    self.flows.discard(record)
+                if _obs.ACTIVE is not None:
+                    self._trace_dispatch("overflow", packet, vm_id=vm.vm_id)
                 return
             queue.append((packet, record))
             self._c_queued_during_clone.increment()
+            if _obs.ACTIVE is not None:
+                self._trace_dispatch("queued", packet, vm_id=vm.vm_id)
             return
         if vm.state is not VMState.RUNNING:
             # Momentary window between reclamation and map cleanup.
             self._c_vm_not_running.increment()
+            if _obs.ACTIVE is not None:
+                self._trace_dispatch("vm_not_running", packet, vm_id=vm.vm_id)
             return
         record.vm_id = vm.vm_id
         self._c_delivered.increment()
+        if _obs.ACTIVE is not None:
+            self._trace_dispatch("delivered", packet, vm_id=vm.vm_id)
         self.backend.deliver(vm, packet)
+
+    def _trace_dispatch(self, verdict: str, packet: Packet, **extra) -> None:
+        """Emit one dispatch-verdict event (caller guards on ACTIVE)."""
+        _obs.ACTIVE.emit(
+            self.sim.now,
+            "gateway",
+            "dispatch",
+            verdict=verdict,
+            src=str(packet.src),
+            dst=str(packet.dst),
+            **extra,
+        )
 
     # ------------------------------------------------------------------ #
     # Pending-queue watchdog (armed only when pending_timeout is set)
@@ -282,6 +319,11 @@ class Gateway:
         queued = self._pending.pop(ip, None)
         if queued:
             self._c_pending_dropped["timeout"].increment(len(queued))
+            if _obs.ACTIVE is not None:
+                _obs.ACTIVE.emit(
+                    self.sim.now, "gateway", "pending_dropped",
+                    cause="timeout", ip=str(ip), count=len(queued),
+                )
         current = self.vm_map.get(ip)
         if (
             current is not None
@@ -295,6 +337,11 @@ class Gateway:
         queued = self._pending.pop(ip, None)
         if queued:
             self._c_pending_dropped[cause].increment(len(queued))
+            if _obs.ACTIVE is not None:
+                _obs.ACTIVE.emit(
+                    self.sim.now, "gateway", "pending_dropped",
+                    cause=cause, ip=str(ip), count=len(queued),
+                )
 
     # ------------------------------------------------------------------ #
     # VM lifecycle notifications from the backend
@@ -309,14 +356,26 @@ class Gateway:
         """
         self._cancel_pending_timer(vm.ip)
         queued = self._pending.pop(vm.ip, [])
+        recorder = _obs.ACTIVE
         for index, (packet, record) in enumerate(queued):
             if vm.state is not VMState.RUNNING:
                 # The VM died mid-flush: account the unflushed remainder
                 # so packet totals still reconcile.
                 self._c_pending_dropped["vm_died"].increment(len(queued) - index)
+                if recorder is not None:
+                    recorder.emit(
+                        self.sim.now, "gateway", "pending_dropped",
+                        cause="vm_died", ip=str(vm.ip), count=len(queued) - index,
+                    )
                 break
             record.vm_id = vm.vm_id
             self._c_delivered.increment()
+            if recorder is not None:
+                recorder.emit(
+                    self.sim.now, "gateway", "dispatch",
+                    verdict="flushed", src=str(packet.src), dst=str(packet.dst),
+                    vm_id=vm.vm_id,
+                )
             self.backend.deliver(vm, packet)
 
     def vm_retired(self, vm: VirtualMachine, pending_cause: str = "vm_retired") -> None:
@@ -353,6 +412,12 @@ class Gateway:
 
         # Honeypot-initiated traffic: the containment policy decides.
         verdict = self.policy.decide(vm, packet, self.sim.now)
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.emit(
+                self.sim.now, "gateway", "containment",
+                action=verdict.action.value,
+                src=str(packet.src), dst=str(packet.dst), vm_id=vm.vm_id,
+            )
         if verdict.action is ContainmentAction.ALLOW:
             self._c_out_allowed.increment()
             if self.inventory.covers(packet.dst):
@@ -378,6 +443,12 @@ class Gateway:
         """Reply on an externally- or peer-initiated flow: always allowed,
         routed externally or internally by destination."""
         self._c_reply_allowed.increment()
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.emit(
+                self.sim.now, "gateway", "containment",
+                action="reply", src=str(packet.src), dst=str(packet.dst),
+                vm_id=vm.vm_id,
+            )
         if self.inventory.covers(packet.dst):
             translated = self.nat.translate_reply_source(packet)
             self.process_inbound(translated.decremented_ttl())

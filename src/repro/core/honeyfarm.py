@@ -38,6 +38,7 @@ from repro.core.reclamation import (
 from repro.faults.backoff import backoff_delay
 from repro.net.addr import AddressSpaceInventory, IPAddress
 from repro.net.packet import Packet
+from repro.obs import recorder as _obs
 from repro.services.dns import DnsServer
 from repro.services.guest import GuestHost, InfectionRecord, ScanBehavior
 from repro.services.personality import PersonalityRegistry, default_registry
@@ -293,6 +294,12 @@ class Honeyfarm:
                 self._live_gauge.adjust(1, self.sim.now)
                 self._live_series.record(self.sim.now, self._live_gauge.value)
                 self._c_vms_spawned.increment()
+                if _obs.ACTIVE is not None:
+                    _obs.ACTIVE.emit(
+                        self.sim.now, "farm", "vm_spawned",
+                        ip=str(ip), vm_id=pooled.vm_id, host_id=pooled.host_id,
+                        pooled=True,
+                    )
                 return pooled
             self.metrics.counter("farm.pool_misses").increment()
         host = self._pick_host(personality)
@@ -315,6 +322,11 @@ class Honeyfarm:
         self._live_gauge.adjust(1, self.sim.now)
         self._live_series.record(self.sim.now, self._live_gauge.value)
         self._c_vms_spawned.increment()
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.emit(
+                self.sim.now, "farm", "vm_spawned",
+                ip=str(ip), vm_id=vm.vm_id, host_id=vm.host_id, pooled=False,
+            )
         return vm
 
     def deliver(self, vm: VirtualMachine, packet: Packet) -> None:
@@ -456,6 +468,11 @@ class Honeyfarm:
         self._c_vms_reclaimed.increment()
         self._live_gauge.adjust(-1, self.sim.now)
         self._live_series.record(self.sim.now, self._live_gauge.value)
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.emit(
+                self.sim.now, "farm", "vm_retired",
+                ip=str(vm.ip), vm_id=vm.vm_id, host=host.name,
+            )
 
     def _detain(self, host: PhysicalHost, vm: VirtualMachine) -> None:
         guest: Optional[GuestHost] = vm.guest
@@ -469,8 +486,14 @@ class Honeyfarm:
         # Detained VMs stay resident (their memory is the evidence), but
         # no longer serve an address, so the live gauge drops.
         self._live_gauge.adjust(-1, self.sim.now)
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.emit(
+                self.sim.now, "farm", "vm_detained",
+                ip=str(vm.ip), vm_id=vm.vm_id, host=host.name,
+            )
 
     def _sweep(self) -> None:
+        destroyed = detained = 0
         for host in self.hosts:
             plan: ReclamationPlan = self.reclamation.plan(host, self.sim.now)
             for vm in plan.destroy:
@@ -478,11 +501,19 @@ class Honeyfarm:
                 self.metrics.counter("farm.sweep_reclaims").increment()
             for vm in plan.detain:
                 self._detain(host, vm)
-        self.gateway.sweep_flows()
+            destroyed += len(plan.destroy)
+            detained += len(plan.detain)
+        flows_expired = self.gateway.sweep_flows()
         breakdown = farm_memory_breakdown(self.hosts)
         self.metrics.series("farm.private_bytes_series").record(
             self.sim.now, breakdown.private_resident
         )
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.emit(
+                self.sim.now, "reclamation", "sweep",
+                destroyed=destroyed, detained=detained,
+                flows_expired=flows_expired, live_vms=self.live_vms,
+            )
         self.sim.schedule(self.config.sweep_interval_seconds, self._sweep)
 
     # ------------------------------------------------------------------ #
@@ -538,6 +569,12 @@ class Honeyfarm:
             self._schedule_respawn(ip)
         if self.config.warm_pool_size > 0 and self._pool_started:
             self.sim.call_now(self._top_up_pool)
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.emit(
+                now, "farm", "host_crashed",
+                host=host.name, vms_lost=vms_lost, pool_vms_lost=pool_lost,
+                respawns_scheduled=len(respawn_ips),
+            )
         return {
             "vms_lost": vms_lost,
             "clones_aborted": clones_aborted,
@@ -553,6 +590,8 @@ class Honeyfarm:
         self.metrics.counter("farm.host_repairs").increment()
         if self.config.warm_pool_size > 0 and self._pool_started:
             self.sim.call_now(self._top_up_pool)
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.emit(self.sim.now, "farm", "host_repaired", host=host.name)
 
     def _schedule_respawn(self, ip: IPAddress, attempt: int = 0) -> None:
         delay = backoff_delay(
@@ -578,6 +617,11 @@ class Honeyfarm:
             return
         self.gateway.vm_map[ip] = vm
         self.metrics.counter("farm.respawns").increment()
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.emit(
+                self.sim.now, "farm", "respawned",
+                ip=str(ip), vm_id=vm.vm_id, attempt=attempt,
+            )
 
     # ------------------------------------------------------------------ #
     # Reporting

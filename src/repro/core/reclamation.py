@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.obs import recorder as _obs
 from repro.vmm.host import PhysicalHost
 from repro.vmm.vm import VirtualMachine, VMState
 
@@ -106,6 +107,12 @@ class IdleTimeoutPolicy(ReclamationPolicy):
             victims, self.detain_infected, self.detained_total, self.max_detained
         )
         self.detained_total += len(plan.detain)
+        if plan.total and _obs.ACTIVE is not None:
+            _obs.ACTIVE.emit(
+                now, "reclamation", "plan",
+                policy="idle_timeout", host=host.name,
+                destroy=len(plan.destroy), detain=len(plan.detain),
+            )
         return plan
 
 
@@ -156,6 +163,12 @@ class MemoryPressurePolicy(ReclamationPolicy):
             victims, self.detain_infected, self.detained_total, self.max_detained
         )
         self.detained_total += len(plan.detain)
+        if plan.total and _obs.ACTIVE is not None:
+            _obs.ACTIVE.emit(
+                now, "reclamation", "plan",
+                policy="memory_pressure", host=host.name,
+                destroy=len(plan.destroy), detain=len(plan.detain),
+            )
         return plan
 
 

@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro.faults.plan import FaultPlan, FaultSpec
 from repro.net.link import Link
+from repro.obs import recorder as _obs
 from repro.sim.rand import RandomStream, SeedSequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -108,6 +109,11 @@ class HostCrashInjector:
     def _repair(self, host: "PhysicalHost", record: FaultRecord) -> None:
         self.farm.repair_host(host)
         record.cleared_at = self.farm.sim.now
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.emit(
+                self.farm.sim.now, "faults", "cleared",
+                kind=record.kind, target=record.target,
+            )
 
 
 class LinkImpairmentInjector:
@@ -230,7 +236,14 @@ class ChaosController:
         return delay
 
     def _fire(self, spec: FaultSpec, occurrence: int) -> None:
-        self.records.append(self._dispatch(spec))
+        record = self._dispatch(spec)
+        self.records.append(record)
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.emit(
+                self.farm.sim.now, "faults", "fired",
+                kind=record.kind, target=record.target,
+                skipped=record.skipped, detail=dict(record.detail),
+            )
         if spec.every is not None:
             nxt = occurrence + 1
             if spec.count is None or nxt < spec.count:

@@ -295,6 +295,16 @@ class FlowTable:
     # Sweeps and reclamation
     # ------------------------------------------------------------------ #
 
+    def discard(self, record: FlowRecord) -> None:
+        """Forget ``record`` if it is live in this table (no-op otherwise).
+
+        Used by the gateway to unwind a record created for a packet that
+        was then refused (e.g. pending-queue overflow) — the flow never
+        reached a VM, so it must not linger in the table.
+        """
+        if record._table is self:
+            self._remove(record)
+
     def expire_idle(self, now: float) -> List[FlowRecord]:
         """Remove and return every flow idle past the timeout.
 

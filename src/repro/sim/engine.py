@@ -18,9 +18,37 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from time import perf_counter
 from typing import Any, Callable, Optional
 
+from repro.obs import recorder as _obs
+
 __all__ = ["Event", "Simulator", "SimulationError"]
+
+
+#: callback.__module__ -> short subsystem label, e.g.
+#: "repro.core.gateway" -> "gateway". Cached because the same handful of
+#: modules schedule millions of events.
+_SUBSYSTEM_CACHE: dict = {}
+
+#: Module tails whose emit points use a different subsystem label; kept in
+#: sync so timing rows join the event rows in the trace summary.
+_SUBSYSTEM_ALIASES = {
+    "flash_clone": "clone",
+    "honeyfarm": "farm",
+    "injectors": "faults",
+    "recorder": "metrics",
+}
+
+
+def _subsystem_of(callback: Callable[..., Any]) -> str:
+    """Attribute a callback to the subsystem (module tail) that owns it."""
+    module = getattr(callback, "__module__", None) or "unknown"
+    subsystem = _SUBSYSTEM_CACHE.get(module)
+    if subsystem is None:
+        tail = module.rsplit(".", 1)[-1]
+        subsystem = _SUBSYSTEM_CACHE[module] = _SUBSYSTEM_ALIASES.get(tail, tail)
+    return subsystem
 
 
 class SimulationError(Exception):
@@ -214,7 +242,18 @@ class Simulator:
             event._sim = None  # fired; a late cancel() must not touch the heap count
             self._now = event.time
             self._events_processed += 1
-            event.callback(*event.args)
+            recorder = _obs.ACTIVE
+            if recorder is None:
+                event.callback(*event.args)
+            else:
+                # Flight-recorder timing hook: attribute this callback's
+                # wall-clock cost to its owning subsystem. Wall time stays
+                # out of the event stream (it is nondeterministic).
+                started = perf_counter()
+                event.callback(*event.args)
+                recorder.record_timing(
+                    _subsystem_of(event.callback), perf_counter() - started
+                )
             return True
         return False
 

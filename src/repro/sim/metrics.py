@@ -84,8 +84,14 @@ class Gauge:
 
     def time_average(self, now: Optional[float] = None) -> float:
         """Time-weighted mean level from creation until ``now``
-        (defaults to the last update time)."""
-        end = self._last_time if now is None else now
+        (defaults to the last update time).
+
+        ``now`` earlier than the last update is clamped to the last
+        update time: :meth:`set` rejects time regressions outright, and
+        without the clamp a stale ``now`` would silently integrate
+        *negative* elapsed time into the average.
+        """
+        end = self._last_time if now is None or now < self._last_time else now
         elapsed = end - self._start_time
         if elapsed <= 0:
             return self.value
@@ -102,19 +108,29 @@ class Histogram:
     Stores every observation (sorted lazily); experiments record at most a
     few hundred thousand samples so exactness is affordable and removes a
     source of noise from paper-shape comparisons.
+
+    The first two moments (sum and sum of squares) are maintained
+    incrementally on :meth:`observe`, so ``total``/``mean``/``stddev``
+    are O(1): end-of-run report generation calls them across hundreds of
+    histograms, and a per-call rescan of every stored sample made that
+    quadratic in run length.
     """
 
-    __slots__ = ("name", "_values", "_sorted")
+    __slots__ = ("name", "_values", "_sorted", "_total", "_sum_squares")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
         self._values: List[float] = []
         self._sorted = True
+        self._total = 0.0
+        self._sum_squares = 0.0
 
     def observe(self, value: float) -> None:
         if self._values and value < self._values[-1]:
             self._sorted = False
         self._values.append(value)
+        self._total += value
+        self._sum_squares += value * value
 
     def _ensure_sorted(self) -> None:
         if not self._sorted:
@@ -127,11 +143,11 @@ class Histogram:
 
     @property
     def total(self) -> float:
-        return sum(self._values)
+        return self._total
 
     @property
     def mean(self) -> float:
-        return self.total / len(self._values) if self._values else 0.0
+        return self._total / len(self._values) if self._values else 0.0
 
     @property
     def min(self) -> float:
@@ -144,12 +160,17 @@ class Histogram:
         return self._values[-1] if self._values else 0.0
 
     def stddev(self) -> float:
-        """Population standard deviation."""
+        """Population standard deviation (O(1), from running moments).
+
+        The variance is clamped at zero: for near-constant samples the
+        two running sums can cancel to a tiny negative float.
+        """
         n = len(self._values)
         if n < 2:
             return 0.0
-        mean = self.mean
-        return math.sqrt(sum((v - mean) ** 2 for v in self._values) / n)
+        mean = self._total / n
+        variance = self._sum_squares / n - mean * mean
+        return math.sqrt(variance) if variance > 0.0 else 0.0
 
     def percentile(self, p: float) -> float:
         """Exact percentile via linear interpolation; ``p`` in [0, 100]."""

@@ -130,9 +130,35 @@ class TestInboundDispatch:
         backend = FakeBackend(sim, snapshot, instant=False)
         gw = make_gateway(sim, inventory, backend)
         gw.max_pending_per_ip = 2
-        for i in range(5):
-            gw.process_inbound(tcp_packet(EXTERNAL, DARK1, 1000 + i, 445))
+        packets = [tcp_packet(EXTERNAL, DARK1, 1000 + i, 445) for i in range(5)]
+        for pkt in packets:
+            gw.process_inbound(pkt)
         assert gw.metrics.counter("gateway.pending_overflow").value == 3
+        # Regression: the three overflowed packets (distinct src ports ->
+        # distinct flows) were observed before the drop decision; their
+        # flow accounting must be unwound, leaving only the two queued
+        # flows with exactly one packet each.
+        assert len(gw.flows) == 2
+        for record in gw.flows:
+            assert record.packets == 1
+            assert record.bytes == packets[0].size
+
+    def test_pending_overflow_unwinds_existing_flow_accounting(
+        self, sim, inventory, snapshot
+    ):
+        # Same 5-tuple throughout: the overflowed retransmits land on the
+        # *existing* record, which must be rolled back but kept alive.
+        backend = FakeBackend(sim, snapshot, instant=False)
+        gw = make_gateway(sim, inventory, backend)
+        gw.max_pending_per_ip = 2
+        pkt = tcp_packet(EXTERNAL, DARK1, 1000, 445)
+        for _ in range(5):
+            gw.process_inbound(pkt)
+        assert gw.metrics.counter("gateway.pending_overflow").value == 3
+        assert len(gw.flows) == 1
+        record = next(iter(gw.flows))
+        assert record.packets == 2
+        assert record.bytes == 2 * pkt.size
 
     def test_tunnel_ingress_counts_and_dispatches(self, sim, inventory, backend):
         gw = make_gateway(sim, inventory, backend)

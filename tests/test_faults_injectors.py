@@ -379,6 +379,36 @@ class TestPendingTimeout:
         assert gw.metrics.counter("gateway.pending_dropped_vm_died").value == 2
         assert backend.delivered == []
 
+    def test_overflow_balances_packet_ledger_and_flow_accounting(self):
+        # Flood one cold address past the pending cap while its clone is
+        # in flight: every refused packet must land in the ledger under
+        # the pending_overflow cause AND leave no residue in the flow
+        # table (regression: observe() ran before the drop decision,
+        # inflating the refused flows' packet/byte counts).
+        from repro.analysis.recovery import packet_ledger
+
+        farm = make_farm()
+        farm.gateway.max_pending_per_ip = 2
+        dst = IPAddress.parse("10.16.0.30")
+        packets = [tcp_packet(ATTACKER, dst, 1000 + i, 445) for i in range(6)]
+        for pkt in packets:
+            farm.inject(pkt)
+        farm.run(until=5.0)  # clone completes, the queued pair flushes
+        gw = farm.gateway
+        assert gw.metrics.counter("gateway.pending_overflow").value == 4
+        assert gw.metrics.counter("gateway.delivered").value == 2
+        ledger = packet_ledger(farm)
+        assert ledger.dropped_by_cause.get("pending_overflow") == 4
+        assert ledger.leaked == 0
+        # Only the two delivered flows survive (pre-fix, the four refused
+        # flows lingered in the table with phantom packet counts); their
+        # exact rollback arithmetic is pinned in test_core_gateway. Guest
+        # replies ride the same canonical flows, so counts here include
+        # outbound traffic too.
+        assert len(gw.flows) == 2
+        for record in gw.flows:
+            assert record.packets >= 1
+
 
 # ---------------------------------------------------------------------- #
 # ChaosController scheduling

@@ -1,0 +1,209 @@
+"""Flight-recorder unit and integration tests.
+
+Pins the three contracts docs/OBSERVABILITY.md states:
+
+* bounded, allocation-light event capture (ring buffer, eviction count);
+* determinism — two same-seed traced runs render byte-identical JSONL,
+  and wall-clock timing never leaks into the event stream;
+* zero behavioural footprint when disabled — a traced run followed by an
+  untraced run leaves the golden /16 summary untouched.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import FlightRecorder, active, install, recording, uninstall
+from repro.obs import recorder as obs_recorder
+from repro.sim.engine import Simulator
+from repro.sim.metrics import MetricRegistry
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_recorder():
+    """Every test starts and ends with tracing disabled."""
+    uninstall()
+    yield
+    uninstall()
+
+
+class TestEventStream:
+    def test_emit_and_render(self):
+        rec = FlightRecorder()
+        rec.emit(1.5, "gateway", "dispatch", verdict="delivered", vm_id=3)
+        line = next(rec.iter_jsonl())
+        event = json.loads(line)
+        assert event == {
+            "t": 1.5, "seq": 1, "sub": "gateway", "ev": "dispatch",
+            "verdict": "delivered", "vm_id": 3,
+        }
+        # Compact, key-sorted rendering: same events, same bytes.
+        assert line == json.dumps(event, sort_keys=True, separators=(",", ":"))
+
+    def test_ring_buffer_evicts_oldest(self):
+        rec = FlightRecorder(capacity=3)
+        for i in range(5):
+            rec.emit(float(i), "s", "e", i=i)
+        assert len(rec) == 3
+        assert rec.emitted == 5
+        assert rec.evicted == 2
+        kept = [fields["i"] for (_, _, _, _, fields) in rec.events]
+        assert kept == [2, 3, 4]  # newest survive
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_dump_roundtrip(self, tmp_path):
+        rec = FlightRecorder()
+        rec.emit(0.0, "clone", "started", ip="10.0.0.1")
+        rec.emit(0.5, "clone", "completed", ip="10.0.0.1")
+        path = tmp_path / "trace.jsonl"
+        assert rec.dump(path) == 2
+        lines = path.read_text().splitlines()
+        assert [json.loads(l)["ev"] for l in lines] == ["started", "completed"]
+
+
+class TestInstallation:
+    def test_install_uninstall(self):
+        assert active() is None
+        rec = install(FlightRecorder())
+        assert active() is rec
+        assert obs_recorder.ACTIVE is rec
+        assert uninstall() is rec
+        assert active() is None
+
+    def test_recording_context_always_uninstalls(self):
+        with pytest.raises(RuntimeError):
+            with recording() as rec:
+                assert active() is rec
+                raise RuntimeError("boom")
+        assert active() is None
+
+
+class TestTiming:
+    def test_engine_attributes_wall_time_to_subsystem(self):
+        sim = Simulator()
+        with recording() as rec:
+            sim.schedule(1.0, lambda: None)
+            sim.run()
+        # Lambdas defined here belong to this test module.
+        summary = rec.timing_summary()
+        assert summary  # exactly one subsystem cell
+        ((subsystem, cell),) = summary.items()
+        assert cell["calls"] == 1
+        assert cell["wall_seconds"] >= 0.0
+        assert cell["mean_us"] >= 0.0
+
+    def test_no_timing_recorded_when_disabled(self):
+        sim = Simulator()
+        rec = FlightRecorder()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert rec.timing == {}
+
+    def test_timing_never_enters_event_stream(self):
+        sim = Simulator()
+        with recording() as rec:
+            sim.schedule(1.0, lambda: None)
+            sim.run()
+        assert len(rec) == 0  # timing lives in rec.timing, not rec.events
+
+
+class TestSnapshots:
+    def test_periodic_snapshots_on_sim_clock(self):
+        sim = Simulator()
+        metrics = MetricRegistry()
+        metrics.counter("demo.count").increment(3)
+        gauge = metrics.gauge("demo.level", time=0.0)
+        gauge.set(2.0, time=0.0)
+        metrics.histogram("demo.lat").observe(0.25)
+        with recording() as rec:
+            rec.start_snapshots(sim, metrics, interval=10.0)
+            sim.schedule(35.0, lambda: None)  # keep the clock moving
+            sim.run(until=35.0)
+        assert rec.snapshots_taken == 3  # t=10, 20, 30
+        snaps = [
+            (t, fields) for (t, _, sub, ev, fields) in rec.events
+            if sub == "metrics" and ev == "snapshot"
+        ]
+        assert [t for t, _ in snaps] == [10.0, 20.0, 30.0]
+        _, fields = snaps[0]
+        assert fields["counters"]["demo.count"] == 3
+        assert fields["gauges"]["demo.level"]["value"] == 2.0
+        assert fields["histograms"]["demo.lat"]["count"] == 1
+
+    def test_snapshot_interval_validated(self):
+        rec = FlightRecorder()
+        with pytest.raises(ValueError):
+            rec.start_snapshots(Simulator(), MetricRegistry(), interval=0.0)
+
+    def test_uninstall_stops_the_snapshot_chain(self):
+        sim = Simulator()
+        rec = install(FlightRecorder())
+        rec.start_snapshots(sim, MetricRegistry(), interval=5.0)
+        uninstall()
+        sim.run(until=30.0)
+        assert rec.snapshots_taken == 0
+
+
+class TestFarmIntegration:
+    @staticmethod
+    def _traced_chaos_jsonl() -> str:
+        from repro.workloads.scenarios import chaos_drill_scenario
+
+        with recording() as rec:
+            farm, outbreak, controller = chaos_drill_scenario(
+                crash_at=12.0, repair_after=6.0, seed=42
+            )
+            outbreak.start()
+            controller.start()
+            rec.start_snapshots(farm.sim, farm.metrics, interval=10.0)
+            farm.run(until=25.0)
+            return rec.to_jsonl()
+
+    def test_same_seed_traced_runs_are_byte_identical(self, tmp_path):
+        # Two *processes*: the determinism contract is stated per run,
+        # and in-process reruns would differ through the global VM id
+        # counter (ids appear in events and keep counting across farms).
+        import subprocess
+        import sys
+
+        dumps = []
+        for name in ("first.jsonl", "second.jsonl"):
+            path = tmp_path / name
+            subprocess.run(
+                [
+                    sys.executable, "-m", "repro.cli", "trace",
+                    "--duration", "20", "--crash-at", "12",
+                    "--repair-after", "6", "--seed", "42",
+                    "--snapshot-interval", "10", "--output", str(path),
+                ],
+                check=True, capture_output=True,
+                cwd=Path(__file__).parents[1],
+            )
+            dumps.append(path.read_bytes())
+        assert dumps[0]  # the drill actually produced events
+        assert dumps[0] == dumps[1]
+
+    def test_traced_run_covers_the_instrumented_subsystems(self):
+        events = [json.loads(l) for l in self._traced_chaos_jsonl().splitlines()]
+        subsystems = {e["sub"] for e in events}
+        assert {"gateway", "clone", "farm", "faults", "metrics"} <= subsystems
+        # Stable ordering: seq strictly increases, sim time never regresses.
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs)
+        times = [e["t"] for e in events]
+        assert times == sorted(times)
+
+    def test_tracing_off_leaves_golden_scenario_unchanged(self):
+        from tests.test_golden_determinism import GOLDEN_PATH, run_scenario
+
+        # Trace a run first so any state leak (a recorder left installed,
+        # a lingering snapshot timer) would poison the untraced rerun.
+        self._traced_chaos_jsonl()
+        assert active() is None
+        assert run_scenario() == GOLDEN_PATH.read_text()

@@ -1,0 +1,180 @@
+"""Trace analysis (repro.analysis.trace) and the ``potemkin trace`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.trace import (
+    dispatch_latencies,
+    filter_events,
+    format_event,
+    iter_trace,
+    load_trace,
+    parse_filter,
+    render_trace_summary,
+    subsystem_breakdown,
+    verdict_counts,
+)
+from repro.cli import main
+
+
+def _ev(t, sub, ev, seq=0, **fields):
+    return {"t": t, "seq": seq, "sub": sub, "ev": ev, **fields}
+
+
+@pytest.fixture
+def sample_events():
+    return [
+        _ev(0.0, "gateway", "dispatch", seq=1, verdict="clone_requested",
+            src="1.1.1.1", dst="10.0.0.5"),
+        _ev(0.1, "clone", "started", seq=2, ip="10.0.0.5"),
+        _ev(0.5, "clone", "completed", seq=3, ip="10.0.0.5"),
+        _ev(0.5, "gateway", "dispatch", seq=4, verdict="flushed",
+            src="1.1.1.1", dst="10.0.0.5"),
+        _ev(0.9, "gateway", "dispatch", seq=5, verdict="delivered",
+            src="1.1.1.1", dst="10.0.0.5"),
+        _ev(2.0, "gateway", "dispatch", seq=6, verdict="clone_requested",
+            src="2.2.2.2", dst="10.0.0.9"),
+        _ev(5.0, "reclamation", "sweep", seq=7, destroyed=1),
+    ]
+
+
+class TestLoading:
+    def test_load_and_iter(self, tmp_path, sample_events):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(e) for e in sample_events) + "\n\n"
+        )
+        assert load_trace(path) == sample_events
+        assert list(iter_trace(path)) == sample_events
+
+
+class TestFiltering:
+    def test_parse_filter_aliases(self):
+        assert parse_filter("subsystem=gateway") == ("sub", "gateway")
+        assert parse_filter("event=dispatch") == ("ev", "dispatch")
+        assert parse_filter("verdict=delivered") == ("verdict", "delivered")
+
+    def test_parse_filter_rejects_malformed(self):
+        for bad in ("nosign", "=value", "key="):
+            with pytest.raises(ValueError):
+                parse_filter(bad)
+
+    def test_filter_matches_as_strings(self, sample_events):
+        kept = filter_events(sample_events, [("sub", "gateway")])
+        assert len(kept) == 4
+        kept = filter_events(
+            sample_events, [("sub", "gateway"), ("verdict", "delivered")]
+        )
+        assert len(kept) == 1
+        # Integer field matched by its string form.
+        kept = filter_events(sample_events, [("destroyed", "1")])
+        assert [e["ev"] for e in kept] == ["sweep"]
+
+    def test_filter_on_missing_key_excludes(self, sample_events):
+        assert filter_events(sample_events, [("nope", "x")]) == []
+
+
+class TestAggregation:
+    def test_subsystem_breakdown(self, sample_events):
+        out = subsystem_breakdown(sample_events)
+        assert list(out) == ["clone", "gateway", "reclamation"]  # sorted
+        assert out["gateway"] == {"events": 4, "first_t": 0.0, "last_t": 2.0}
+
+    def test_verdict_counts(self, sample_events):
+        assert verdict_counts(sample_events) == {
+            "clone_requested": 2, "delivered": 1, "flushed": 1,
+        }
+
+    def test_dispatch_latency_reconstruction(self, sample_events):
+        out = dispatch_latencies(sample_events)
+        # 10.0.0.9's clone never flushed inside the trace: omitted.
+        assert out == [{
+            "dst": "10.0.0.5", "requested_t": 0.0,
+            "flushed_t": 0.5, "latency": 0.5,
+        }]
+
+    def test_latency_keeps_first_request(self):
+        events = [
+            _ev(0.0, "gateway", "dispatch", verdict="clone_requested", dst="d"),
+            _ev(1.0, "gateway", "dispatch", verdict="clone_requested", dst="d"),
+            _ev(2.0, "gateway", "dispatch", verdict="flushed", dst="d"),
+        ]
+        (item,) = dispatch_latencies(events)
+        assert item["latency"] == 2.0
+
+
+class TestRendering:
+    def test_format_event_orders_fields(self, sample_events):
+        line = format_event(sample_events[0])
+        assert "gateway.dispatch" in line
+        assert "dst=10.0.0.5" in line
+        assert "seq=" not in line  # core keys stay out of the field tail
+
+    def test_summary_sections(self, sample_events):
+        text = render_trace_summary(
+            sample_events,
+            timing={"gateway": {"calls": 4, "wall_seconds": 0.004,
+                               "mean_us": 1000.0}},
+            evicted=3,
+        )
+        assert "Per-subsystem breakdown (7 events, 3 evicted)" in text
+        assert "Gateway dispatch verdicts" in text
+        assert "Dispatch latency" in text
+        assert "wall (ms)" in text
+
+    def test_summary_without_timing(self, sample_events):
+        text = render_trace_summary(sample_events)
+        assert "wall (ms)" not in text
+
+
+class TestCli:
+    def test_record_then_inspect(self, tmp_path, capsys):
+        out_path = tmp_path / "drill.jsonl"
+        rc = main([
+            "trace", "--scenario", "chaos-drill", "--duration", "20",
+            "--crash-at", "12", "--repair-after", "6",
+            "--output", str(out_path), "--snapshot-interval", "5",
+        ])
+        assert rc == 0
+        recorded = capsys.readouterr().out
+        assert "Per-subsystem breakdown" in recorded
+        assert "wall (ms)" in recorded  # record mode has timing
+        assert out_path.exists()
+
+        rc = main([
+            "trace", "--input", str(out_path),
+            "--filter", "subsystem=gateway", "--tail", "5",
+        ])
+        assert rc == 0
+        inspected = capsys.readouterr().out
+        assert "gateway." in inspected  # tail lines
+        assert "Gateway dispatch verdicts" in inspected
+        assert "wall (ms)" not in inspected  # timing is not in the file
+
+    def test_record_leaves_tracing_disabled(self, tmp_path):
+        from repro.obs import active
+
+        main(["trace", "--duration", "5", "--output",
+              str(tmp_path / "t.jsonl")])
+        assert active() is None
+
+    def test_bad_filter_is_a_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        path.write_text("")
+        rc = main(["trace", "--input", str(path), "--filter", "bogus"])
+        assert rc == 2
+        assert "key=value" in capsys.readouterr().err
+
+    def test_capacity_bounds_the_file(self, tmp_path, capsys):
+        out_path = tmp_path / "small.jsonl"
+        rc = main([
+            "trace", "--duration", "20", "--crash-at", "12",
+            "--repair-after", "6", "--capacity", "50",
+            "--output", str(out_path),
+        ])
+        assert rc == 0
+        assert len(out_path.read_text().splitlines()) == 50
+        assert "evicted" in capsys.readouterr().out

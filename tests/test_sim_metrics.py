@@ -51,6 +51,19 @@ class TestGauge:
         with pytest.raises(ValueError):
             g.set(2.0, time=4.0)
 
+    def test_time_average_clamps_stale_now(self):
+        # Regression: a `now` older than the last update used to integrate
+        # *negative* elapsed time into the weighted area, dragging the
+        # average below every value the gauge ever held.
+        g = Gauge("g")
+        g.set(10.0, time=0.0)
+        g.set(0.0, time=8.0)
+        stale = g.time_average(now=3.0)  # predates the t=8 update
+        assert stale == pytest.approx(10.0)  # clamped: area up to t=8 only
+        assert stale == g.time_average(now=8.0)
+        # A legitimately-later `now` still extends the final interval.
+        assert g.time_average(now=16.0) == pytest.approx(5.0)
+
 
 class TestHistogram:
     def test_empty_histogram_is_safe(self):
@@ -104,6 +117,35 @@ class TestHistogram:
         h = Histogram("h")
         h.observe(1.0)
         assert set(h.summary()) == {"count", "mean", "min", "p50", "p90", "p99", "max"}
+
+    def test_running_moments_survive_sort_interleaving(self):
+        # Regression: total/mean/stddev used to re-scan every sample per
+        # call (quadratic reports); they are now maintained incrementally
+        # and must stay exact when observes interleave with percentile
+        # calls (which sort the sample list in place).
+        h = Histogram("h")
+        values = [5.0, 1.0, 9.0]
+        for v in values:
+            h.observe(v)
+        assert h.median == 5.0  # forces the sort
+        values += [2.0, 7.0]
+        h.observe(2.0)
+        h.observe(7.0)
+        n = len(values)
+        mean = sum(values) / n
+        assert h.total == pytest.approx(sum(values))
+        assert h.mean == pytest.approx(mean)
+        variance = sum((v - mean) ** 2 for v in values) / n
+        assert h.stddev() == pytest.approx(variance ** 0.5)
+
+    def test_stddev_never_goes_negative_under_rounding(self):
+        # sumsq/n - mean^2 can dip fractionally below zero for constant
+        # samples; the sqrt must see it clamped (no math domain error),
+        # and cancellation residue must stay negligible.
+        h = Histogram("h")
+        for _ in range(1000):
+            h.observe(0.1)
+        assert h.stddev() == pytest.approx(0.0, abs=1e-6)
 
 
 class TestTimeSeries:
