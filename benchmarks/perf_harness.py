@@ -11,6 +11,10 @@ machine-readable results for regression tracking:
   - **packet storm**: a full fixed-seed telescope scenario through a
     4-host farm (clone pipeline, flow table, reclamation sweeps, heap
     compaction), reported as wall seconds and events/second.
+* ``BENCH_memory.json`` — the content-sharing A/B: the same fixed-seed
+  worm packet storm on a memory-constrained host, once with the
+  shared-frame store on and once off, recording peak resident frames,
+  pressure events/evictions, clone churn, and the frames sharing saved.
 * ``BENCH_sweeps.json`` — the parallel grid sweeps (see
   ``sweep_runner.py``).
 
@@ -36,7 +40,8 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.core.config import HoneyfarmConfig
 from repro.core.honeyfarm import Honeyfarm
 from repro.net.addr import IPAddress
-from repro.net.packet import tcp_packet
+from repro.net.packet import tcp_packet, udp_packet
+from repro.vmm.memory import PAGE_SIZE
 from repro.workloads.telescope import TelescopeConfig, TelescopeWorkload
 from repro.workloads.trace import replay_into_farm
 
@@ -46,6 +51,10 @@ HOT_ITERATIONS = 200_000
 HOT_ITERATIONS_SMOKE = 20_000
 STORM_DURATION = 120.0
 STORM_DURATION_SMOKE = 20.0
+MEMORY_VICTIMS = 120
+MEMORY_VICTIMS_SMOKE = 40
+MEMORY_DURATION = 30.0
+MEMORY_DURATION_SMOKE = 10.0
 
 
 def _quiet_farm() -> Honeyfarm:
@@ -128,6 +137,101 @@ def bench_packet_storm(duration: float) -> Dict[str, Any]:
     }
 
 
+def _memory_storm(
+    victims: int, duration: float, content_sharing: bool
+) -> Dict[str, Any]:
+    """One fixed-seed slammer storm on a memory-constrained host.
+
+    The host is sized *between* the two modes' demand (~198 frames per
+    victim with sharing on, ~262 with it off, plus the 4096-frame image)
+    so that only the sharing-off run crosses the pressure threshold.
+    """
+    host_frames = 4096 + 240 * victims
+    farm = Honeyfarm(HoneyfarmConfig(
+        prefixes=("10.16.0.0/24",),
+        num_hosts=1,
+        host_memory_bytes=host_frames * PAGE_SIZE,
+        vm_image_bytes=16 * (1 << 20),
+        containment="drop-all",
+        clone_jitter=0.0,
+        seed=17,
+        memory_pressure_threshold=0.9,
+        idle_timeout_seconds=600.0,
+        sweep_interval_seconds=1.0,
+        content_sharing=content_sharing,
+    ))
+    attacker = IPAddress.parse("203.0.113.99")
+    for i in range(victims):
+        farm.sim.schedule(
+            0.02 * i,
+            farm.inject,
+            udp_packet(
+                attacker,
+                IPAddress.parse(f"10.16.0.{(i % 254) + 1}"),
+                1, 1434, payload="exploit:slammer",
+            ),
+        )
+    t0 = time.perf_counter()
+    farm.run(until=duration)
+    wall = time.perf_counter() - t0
+    memory = farm.hosts[0].memory
+    memory.check_frame_invariant()
+    counters = farm.metrics.counters()
+    pressure_events = sum(
+        getattr(policy, "pressure_events", 0)
+        for policy in farm.reclamation.policies
+    )
+    clones = len(farm.clone_engine.results)
+    return {
+        "content_sharing": content_sharing,
+        "victims": victims,
+        "host_frames": host_frames,
+        "sim_duration_seconds": duration,
+        "wall_seconds": round(wall, 4),
+        "events_processed": farm.sim.events_processed,
+        "clones_completed": clones,
+        "clones_per_sim_second": round(clones / duration, 2),
+        "mean_clone_latency_seconds": round(
+            farm.clone_engine.mean_latency_seconds(), 4
+        ),
+        "infections": farm.infection_count(),
+        "peak_allocated_frames": memory.peak_allocated_frames,
+        "final_allocated_frames": memory.allocated_frames,
+        "shared_frames": memory.shared_frames,
+        "sharing_savings_frames": memory.sharing_savings_frames,
+        "pressure_events": pressure_events,
+        "pressure_evictions": counters.get("farm.pressure_evictions", 0),
+        "sweep_reclaims": counters.get("farm.sweep_reclaims", 0),
+        "allocation_failures": memory.allocation_failures,
+    }
+
+
+def bench_memory(victims: int, duration: float) -> Dict[str, Any]:
+    """The content-sharing A/B on one fixed-seed worm packet storm."""
+    on = _memory_storm(victims, duration, content_sharing=True)
+    off = _memory_storm(victims, duration, content_sharing=False)
+    return {
+        "sharing_on": on,
+        "sharing_off": off,
+        "comparison": {
+            "peak_frames_saved": (
+                off["peak_allocated_frames"] - on["peak_allocated_frames"]
+            ),
+            "pressure_events_avoided": (
+                off["pressure_events"] - on["pressure_events"]
+            ),
+            "evictions_avoided": (
+                (off["pressure_evictions"] + off["sweep_reclaims"])
+                - (on["pressure_evictions"] + on["sweep_reclaims"])
+            ),
+            "sharing_wins": (
+                on["pressure_events"] < off["pressure_events"]
+                and on["peak_allocated_frames"] < off["peak_allocated_frames"]
+            ),
+        },
+    }
+
+
 def run_gateway_bench(smoke: bool = False) -> Dict[str, Any]:
     iterations = HOT_ITERATIONS_SMOKE if smoke else HOT_ITERATIONS
     duration = STORM_DURATION_SMOKE if smoke else STORM_DURATION
@@ -153,6 +257,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     gateway_out = REPORT_DIR / "BENCH_gateway.json"
     gateway_out.write_text(json.dumps(doc, indent=2) + "\n")
     print(f"wrote {gateway_out}")
+
+    memory_doc = {
+        "config": {"smoke": args.smoke},
+        "worm_storm": bench_memory(
+            MEMORY_VICTIMS_SMOKE if args.smoke else MEMORY_VICTIMS,
+            MEMORY_DURATION_SMOKE if args.smoke else MEMORY_DURATION,
+        ),
+    }
+    memory_out = REPORT_DIR / "BENCH_memory.json"
+    memory_out.write_text(json.dumps(memory_doc, indent=2) + "\n")
+    print(f"wrote {memory_out}")
+    storm_ab = memory_doc["worm_storm"]
+    for label in ("sharing_on", "sharing_off"):
+        row = storm_ab[label]
+        print(f"  {label}: peak {row['peak_allocated_frames']} frames,"
+              f" {row['pressure_events']} pressure events,"
+              f" {row['pressure_evictions']} pressure evictions,"
+              f" saved {row['sharing_savings_frames']} frames")
+    comparison = storm_ab["comparison"]
+    print(f"  sharing saved {comparison['peak_frames_saved']} peak frames,"
+          f" avoided {comparison['pressure_events_avoided']} pressure events"
+          f" (wins: {comparison['sharing_wins']})")
     dispatch = doc["dispatch"]
     print(f"  hot path:   {dispatch['hot_path']['us_per_packet']} us/pkt"
           f" ({dispatch['hot_path']['packets_per_second']:,} pps)")

@@ -1,15 +1,24 @@
-"""Content-based page sharing: quantifying the paper's future work.
+"""Content-based page sharing: the scanner, now a cross-check.
 
-Delta virtualization shares pages that were *never modified*. The paper
-points at a further step — sharing pages whose contents happen to be
-identical even though they were written independently (ESX-style content
-dedup). In a honeyfarm that redundancy is enormous: every victim of the
-same worm carries the same worm body.
+Delta virtualization shares pages that were *never modified*; the live
+:class:`~repro.vmm.memory.SharedFrameStore` additionally collapses pages
+whose contents happen to be identical even though they were written
+independently (ESX-style content dedup). In a honeyfarm that redundancy
+is enormous: every victim of the same worm carries the same worm body.
 
-This module measures the opportunity rather than mutating the memory
-system: a scanner hashes every private page's content tag across a host
-(or farm) and reports how many frames a content-sharing VMM would
-reclaim. Worm bodies write deterministic per-worm content tags (see
+Historically this module only *measured* the opportunity; the mechanism
+now exists, so the scan plays two roles:
+
+* on sharing-off (ablation) hosts it still quantifies what a
+  content-sharing VMM would reclaim;
+* on sharing-on hosts it verifies the O(1) live ledger: for each host,
+  the duplicates the O(n) scan finds must equal that host's
+  ``savings_frames``, or the store's refcounts have drifted. The scan
+  then reports only the *remaining* opportunity — duplicates across
+  host boundaries, which per-host stores cannot collapse — so a
+  single sharing-on host reports ~zero.
+
+Worm bodies write deterministic per-worm content tags (see
 :func:`repro.services.guest._worm_page_content`), so the measured
 savings reflect exactly the cross-victim redundancy a real scanner
 would find.
@@ -17,8 +26,9 @@ would find.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Iterable
 
 from repro.analysis.report import format_table
 from repro.vmm.host import PhysicalHost
@@ -32,10 +42,11 @@ class DedupStats:
     """What a content-sharing scanner found."""
 
     vms_scanned: int
-    total_private_frames: int
+    total_private_frames: int    # logical overlay pages (refs, not frames)
     distinct_contents: int
-    shareable_frames: int        # frames beyond the first copy of each content
+    shareable_frames: int        # duplicates the live stores have NOT collapsed
     largest_duplicate_group: int
+    already_shared_frames: int = 0   # duplicates the live stores already collapsed
 
     @property
     def total_private_bytes(self) -> int:
@@ -46,8 +57,12 @@ class DedupStats:
         return self.shareable_frames * PAGE_SIZE
 
     @property
+    def already_shared_bytes(self) -> int:
+        return self.already_shared_frames * PAGE_SIZE
+
+    @property
     def savings_fraction(self) -> float:
-        """Fraction of private memory a content-sharing VMM reclaims."""
+        """Fraction of private memory still reclaimable by more sharing."""
         if self.total_private_frames == 0:
             return 0.0
         return self.shareable_frames / self.total_private_frames
@@ -61,6 +76,8 @@ class DedupStats:
             ["savings", f"{self.savings_fraction * 100:.1f}%"],
             ["largest duplicate group", self.largest_duplicate_group],
             ["reclaimable MiB", f"{self.shareable_bytes / 2**20:.1f}"],
+            ["already shared frames (live)", self.already_shared_frames],
+            ["already shared MiB (live)", f"{self.already_shared_bytes / 2**20:.1f}"],
         ], title="Content-based sharing opportunity")
 
 
@@ -68,26 +85,44 @@ def dedup_opportunity(hosts: Iterable[PhysicalHost]) -> DedupStats:
     """Scan all live VMs' private pages for identical contents.
 
     O(total private pages); the same pass a background scanner in the
-    VMM would make.
+    VMM would make. On hosts with content sharing enabled the scan also
+    asserts agreement with the live store's O(1) accounting, raising
+    :class:`AssertionError` on any divergence.
     """
-    counts: Dict[int, int] = {}
+    farm_counts: Counter = Counter()
     total = 0
     vms = 0
+    already_shared = 0
     for host in hosts:
+        host_counts: Counter = Counter()
         for vm in host.vms():
             if vm.address_space.destroyed:
                 continue
             vms += 1
             for __, content in vm.address_space.private_page_contents():
-                counts[content] = counts.get(content, 0) + 1
-                total += 1
-    distinct = len(counts)
-    shareable = total - distinct
-    largest = max(counts.values()) if counts else 0
+                host_counts[content] += 1
+        host_total = sum(host_counts.values())
+        host_duplicates = host_total - len(host_counts)
+        store = host.memory.sharing
+        if store is not None:
+            # Cross-check the mechanism against the measurement: every
+            # within-host duplicate must already be collapsed.
+            if store.savings_frames != host_duplicates:
+                raise AssertionError(
+                    f"{host.name}: live store reports {store.savings_frames}"
+                    f" frames saved but the scan found {host_duplicates}"
+                    " within-host duplicates"
+                )
+            already_shared += host_duplicates
+        total += host_total
+        farm_counts.update(host_counts)
+    distinct = len(farm_counts)
+    largest = max(farm_counts.values(), default=0)
     return DedupStats(
         vms_scanned=vms,
         total_private_frames=total,
         distinct_contents=distinct,
-        shareable_frames=shareable,
+        shareable_frames=total - distinct - already_shared,
         largest_duplicate_group=largest,
+        already_shared_frames=already_shared,
     )

@@ -68,6 +68,12 @@ class HoneyfarmConfig:
         ``flash`` (delta virtualization, the system under test),
         ``full-copy`` (the eager-copy ablation A-ABL1), or ``boot``
         (the dedicated-honeypot baseline: cold boot + private image).
+    content_sharing:
+        Content-based page sharing on each host (ESX-style transparent
+        sharing layered on delta virtualization): writes of identical
+        content tags — worm bodies, chiefly — share one physical frame
+        host-wide. On by default; ``False`` is the A-ABL ablation that
+        isolates what sharing buys beyond copy-on-write.
     pending_timeout_seconds:
         Watchdog over the gateway's per-address pending queues: if a
         clone has not delivered within this window, the held packets are
@@ -101,6 +107,7 @@ class HoneyfarmConfig:
     max_detained: int = 32
     clone_jitter: float = 0.05
     clone_mode: str = "flash"
+    content_sharing: bool = True
     warm_pool_size: int = 0
     warm_pool_refill_interval: float = 0.25
     placement_policy: str = "least-loaded"

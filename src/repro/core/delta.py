@@ -32,10 +32,24 @@ class MemoryBreakdown:
     private_resident: int
     live_vms: int
     full_copy_equivalent: int
+    # Bytes content-based sharing is saving (0 when sharing is off).
+    # ``private_resident`` stays the *logical* overlay footprint, so
+    # physical usage is private_resident - sharing_savings.
+    sharing_savings: int = 0
+    shared_resident: int = 0
 
     @property
     def total_resident(self) -> int:
         return self.image_resident + self.private_resident
+
+    @property
+    def physical_private_resident(self) -> int:
+        """Physical bytes actually backing the overlays."""
+        return self.private_resident - self.sharing_savings
+
+    @property
+    def physical_resident(self) -> int:
+        return self.image_resident + self.physical_private_resident
 
     @property
     def mean_private_per_vm(self) -> float:
@@ -61,6 +75,8 @@ class MemoryBreakdown:
             private_resident=self.private_resident + other.private_resident,
             live_vms=self.live_vms + other.live_vms,
             full_copy_equivalent=self.full_copy_equivalent + other.full_copy_equivalent,
+            sharing_savings=self.sharing_savings + other.sharing_savings,
+            shared_resident=self.shared_resident + other.shared_resident,
         )
 
 
@@ -87,13 +103,19 @@ def host_memory_breakdown(host: PhysicalHost) -> MemoryBreakdown:
         private_resident=private * PAGE_SIZE,
         live_vms=vms,
         full_copy_equivalent=full_copy * PAGE_SIZE,
+        sharing_savings=host.memory.sharing_savings_frames * PAGE_SIZE,
+        shared_resident=host.memory.shared_frames * PAGE_SIZE,
     )
 
 
 def farm_memory_breakdown(hosts: Iterable[PhysicalHost]) -> MemoryBreakdown:
     """Aggregate breakdown across the cluster."""
     merged = MemoryBreakdown(
-        capacity=0, image_resident=0, private_resident=0, live_vms=0, full_copy_equivalent=0
+        capacity=0,
+        image_resident=0,
+        private_resident=0,
+        live_vms=0,
+        full_copy_equivalent=0,
     )
     for host in hosts:
         merged = merged.merged_with(host_memory_breakdown(host))

@@ -100,6 +100,13 @@ class FlashCloneEngine:
         self.results: List[CloneResult] = []
         self.failures: List[CloneResult] = []
         self.in_flight = 0
+        # Running sums for the periodic reports, maintained as clones
+        # complete: the old re-scan of ``results`` per call made every
+        # report O(completed clones) — quadratic over a run that reports
+        # each sweep. ``results`` itself stays, for the T1 tables.
+        self._latency_sum = 0.0
+        self._stage_sums: Dict[str, float] = {}
+        self._stage_counts: Dict[str, int] = {}
         # Chaos hook (see repro.faults.injectors.CloneFaultInjector):
         # called once per completing clone; a non-None return is a
         # failure reason and the clone fails instead of starting. None
@@ -192,14 +199,22 @@ class FlashCloneEngine:
                 return
         vm.start(self.sim.now)
         self.results.append(result)
+        self._latency_sum += result.total_seconds
         self.metrics.counter("clone.completed").increment()
         if _obs.ACTIVE is not None:
+            memory = vm.address_space.memory
             _obs.ACTIVE.emit(
                 self.sim.now, "clone", "completed",
                 ip=str(vm.ip), vm_id=vm.vm_id, seconds=result.total_seconds,
+                host_shared_frames=memory.shared_frames,
+                host_sharing_savings=memory.sharing_savings_frames,
             )
         self.metrics.histogram("clone.latency_seconds").observe(result.total_seconds)
         for stage in result.stages:
+            self._stage_sums[stage.stage] = (
+                self._stage_sums.get(stage.stage, 0.0) + stage.seconds
+            )
+            self._stage_counts[stage.stage] = self._stage_counts.get(stage.stage, 0) + 1
             self.metrics.histogram(f"clone.stage.{stage.stage}").observe(stage.seconds)
         if on_ready is not None:
             on_ready(result)
@@ -210,21 +225,17 @@ class FlashCloneEngine:
 
     def stage_breakdown_ms(self) -> Dict[str, float]:
         """Mean per-stage latency in milliseconds over all completed
-        clones — the rows of the Table T1 reproduction."""
-        sums: Dict[str, float] = {}
-        counts: Dict[str, int] = {}
-        for result in self.results:
-            for stage in result.stages:
-                sums[stage.stage] = sums.get(stage.stage, 0.0) + stage.seconds
-                counts[stage.stage] = counts.get(stage.stage, 0) + 1
+        clones — the rows of the Table T1 reproduction. O(stages), from
+        running sums."""
         return {
-            stage: 1000.0 * sums[stage] / counts[stage] for stage in sums
+            stage: 1000.0 * self._stage_sums[stage] / self._stage_counts[stage]
+            for stage in self._stage_sums
         }
 
     def mean_latency_seconds(self) -> float:
         if not self.results:
             return 0.0
-        return sum(r.total_seconds for r in self.results) / len(self.results)
+        return self._latency_sum / len(self.results)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<FlashCloneEngine {self.mode} completed={len(self.results)}>"

@@ -98,6 +98,7 @@ class Honeyfarm:
                 max_vms=self.config.max_vms_per_host,
                 name=f"host-{i}",
                 host_id=i,
+                content_sharing=self.config.content_sharing,
             )
             for personality in needed:
                 host.install_snapshot(
@@ -161,6 +162,16 @@ class Honeyfarm:
         self._c_clone_failures = self.metrics.handle("farm.clone_failures")
         self._live_series = self.metrics.series("farm.live_vms_series")
         self._infections_series = self.metrics.series("farm.infections_series")
+        # Sharing series exist only when the mechanism is on, so a
+        # sharing-off (ablation) report carries no dead rows.
+        self._sharing_series = (
+            (
+                self.metrics.series("farm.shared_frames_series"),
+                self.metrics.series("farm.sharing_savings_series"),
+            )
+            if self.config.content_sharing
+            else None
+        )
         # Respawn backoff jitter draws from its own stream so chaos
         # recovery cannot perturb workload randomness (and vice versa).
         self._respawn_rng = self.seeds.stream("respawn-backoff")
@@ -441,23 +452,27 @@ class Honeyfarm:
 
     def _relieve_pressure(self, host: PhysicalHost, exclude_vm_id: int) -> bool:
         """OOM handler for guest page writes: evict the least-recently-
-        active other VM on the same host. Returns True if memory freed."""
-        candidates = sorted(
+        active other VM on the same host. Returns True only when physical
+        frames were actually freed — a victim whose pages are all shared
+        with other VMs frees nothing, so evicting it cannot unblock the
+        faulting write."""
+        victim = min(
             (
                 vm
                 for vm in host.vms()
                 if vm.state is VMState.RUNNING
                 and not vm.parked
                 and vm.vm_id != exclude_vm_id
+                and vm.reclaimable_frames > 0
             ),
-            key=lambda vm: vm.last_activity,
+            key=lambda vm: (vm.last_activity, vm.vm_id),
+            default=None,
         )
-        for vm in candidates:
-            if vm.private_pages > 0:
-                self._retire(host, vm)
-                self.metrics.counter("farm.pressure_evictions").increment()
-                return True
-        return False
+        if victim is None:
+            return False
+        self._retire(host, victim)
+        self.metrics.counter("farm.pressure_evictions").increment()
+        return True
 
     def _retire(self, host: PhysicalHost, vm: VirtualMachine) -> None:
         guest: Optional[GuestHost] = vm.guest
@@ -508,11 +523,21 @@ class Honeyfarm:
         self.metrics.series("farm.private_bytes_series").record(
             self.sim.now, breakdown.private_resident
         )
+        shared = savings = 0
+        for host in self.hosts:
+            host.memory.check_frame_invariant()
+            shared += host.memory.shared_frames
+            savings += host.memory.sharing_savings_frames
+        if self._sharing_series is not None:
+            shared_series, savings_series = self._sharing_series
+            shared_series.record(self.sim.now, shared)
+            savings_series.record(self.sim.now, savings)
         if _obs.ACTIVE is not None:
             _obs.ACTIVE.emit(
                 self.sim.now, "reclamation", "sweep",
                 destroyed=destroyed, detained=detained,
                 flows_expired=flows_expired, live_vms=self.live_vms,
+                shared_frames=shared, sharing_savings=savings,
             )
         self.sim.schedule(self.config.sweep_interval_seconds, self._sweep)
 

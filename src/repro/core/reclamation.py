@@ -19,6 +19,7 @@ prefer to pause it for forensics rather than destroy it (bounded by
 
 from __future__ import annotations
 
+import heapq
 from typing import List, Optional, Tuple
 
 from repro.obs import recorder as _obs
@@ -120,9 +121,19 @@ class MemoryPressurePolicy(ReclamationPolicy):
     """Evict least-recently-active VMs when memory crosses a threshold.
 
     Eviction continues (in LRU order) until projected utilisation falls
-    back below the threshold, counting each VM's private pages as the
-    memory recovered. Infected VMs are detained under the same rules as
+    back below the threshold, counting each VM's *reclaimable* frames —
+    the frames it holds exclusively — as the memory recovered. Under
+    content sharing, raw ``private_pages`` over-counts what an eviction
+    returns (shared frames survive the victim), which would end the
+    sweep early and leave the host still over threshold. The projection
+    is conservative the other way: a frame shared only among victims is
+    credited to none of them, so the plan may slightly over-evict rather
+    than under-evict. Infected VMs are detained under the same rules as
     the idle policy.
+
+    Victim selection is a partial sort: candidates are heapified (O(n))
+    and popped (O(log n) each) only until the projection clears the
+    threshold, instead of fully sorting every running VM each sweep.
     """
 
     def __init__(
@@ -145,20 +156,18 @@ class MemoryPressurePolicy(ReclamationPolicy):
         if memory.allocated_frames <= limit:
             return ReclamationPlan()
         self.pressure_events += 1
-        candidates = sorted(
-            (
-                vm for vm in host.vms()
-                if vm.state is VMState.RUNNING and not vm.parked
-            ),
-            key=lambda vm: vm.last_activity,
-        )
+        candidates = [
+            (vm.last_activity, vm.vm_id, vm)
+            for vm in host.vms()
+            if vm.state is VMState.RUNNING and not vm.parked
+        ]
+        heapq.heapify(candidates)
         victims: List[VirtualMachine] = []
         projected = memory.allocated_frames
-        for vm in candidates:
-            if projected <= limit:
-                break
+        while candidates and projected > limit:
+            _, _, vm = heapq.heappop(candidates)
             victims.append(vm)
-            projected -= vm.private_pages
+            projected -= vm.reclaimable_frames
         plan = _split_detainees(
             victims, self.detain_infected, self.detained_total, self.max_detained
         )

@@ -46,6 +46,7 @@ class PhysicalHost:
         max_vms: int = DEFAULT_MAX_VMS,
         name: Optional[str] = None,
         host_id: Optional[int] = None,
+        content_sharing: bool = True,
     ) -> None:
         if max_vms <= 0:
             raise ValueError(f"max_vms must be positive: {max_vms!r}")
@@ -55,7 +56,7 @@ class PhysicalHost:
         # fallback.
         self.host_id = next(_host_ids) if host_id is None else int(host_id)
         self.name = name or f"host-{self.host_id}"
-        self.memory = MachineMemory(memory_bytes)
+        self.memory = MachineMemory(memory_bytes, content_sharing=content_sharing)
         self.max_vms = max_vms
         self.snapshots: Dict[str, ReferenceSnapshot] = {}
         self._vms: Dict[int, VirtualMachine] = {}
@@ -182,6 +183,12 @@ class PhysicalHost:
 
     def total_private_pages(self) -> int:
         return sum(vm.private_pages for vm in self._vms.values())
+
+    def total_reclaimable_frames(self) -> int:
+        """Physical frames evicting every resident VM would return —
+        less than :meth:`total_private_pages` once content sharing has
+        collapsed duplicates."""
+        return sum(vm.reclaimable_frames for vm in self._vms.values())
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

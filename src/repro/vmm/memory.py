@@ -1,4 +1,4 @@
-"""Page-granular memory with copy-on-write sharing (delta virtualization).
+"""Page-granular memory with copy-on-write and content-based sharing.
 
 This module is the mechanism behind the paper's key memory result: a
 flash-cloned VM initially shares *every* page with its reference image and
@@ -11,19 +11,36 @@ A clone's address space is a **base + overlay**:
 
 * the *base* is an immutable :class:`ReferenceImage` whose frames were
   allocated once, when the reference snapshot was taken;
-* the *overlay* is a per-VM dict mapping page number → private frame,
+* the *overlay* is a per-VM dict mapping page number → content tag,
   populated on first write to each page (the CoW fault).
 
 This makes clone creation O(1) in pages — exactly the property that makes
-flash cloning fast in the real system, where only page tables are touched
-— and makes the host's physical memory usage
+flash cloning fast in the real system, where only page tables are touched.
+Frame *contents* are modelled as integer version tags: the experiments
+depend on which pages are private, not on their bytes, but tags let tests
+verify CoW isolation (writer sees its own value, sharers still see the
+original).
 
-    resident = image frames + Σ(per-VM overlay frames)
+Content-based sharing
+---------------------
+Delta virtualization collapses pages that were *never modified*. The
+paper names the next multiplier — collapsing pages whose contents happen
+to be identical even though they were written independently (ESX-style
+transparent page sharing; Waldspurger, OSDI 2002). In a honeyfarm that
+redundancy is enormous: every victim of the same worm carries the same
+worm body.
 
-an exact quantity rather than an estimate. Frame *contents* are modelled
-as integer version tags: the experiments depend on which pages are
-private, not on their bytes, but tags let tests verify CoW isolation
-(writer sees its own value, sharers still see the original).
+When sharing is enabled (the default; ``content_sharing=False`` is the
+ablation), each :class:`MachineMemory` owns a :class:`SharedFrameStore`
+— a content tag → refcounted frame table. A dirty write interns its tag:
+the first writer of a tag pays one physical frame, every later writer of
+the same tag (any VM on the host) shares it at zero frame cost, and the
+frame returns to the pool only when its last reference is rewritten or
+destroyed. Every operation is O(1), so the host's physical usage
+
+    resident = image frames + distinct private contents
+
+stays an exact, cheaply-queryable quantity rather than a scanner result.
 """
 
 from __future__ import annotations
@@ -35,6 +52,7 @@ __all__ = [
     "PAGE_SIZE",
     "OutOfMemoryError",
     "MachineMemory",
+    "SharedFrameStore",
     "ReferenceImage",
     "GuestAddressSpace",
 ]
@@ -53,20 +71,206 @@ class OutOfMemoryError(Exception):
     """
 
 
+class _SharedEntry:
+    """One physical frame in the shared store: its reference count and,
+    per holding address space, how many of that space's pages map it."""
+
+    __slots__ = ("refs", "holders")
+
+    def __init__(self) -> None:
+        self.refs = 0
+        self.holders: Dict["GuestAddressSpace", int] = {}
+
+
+class SharedFrameStore:
+    """Content tag → refcounted physical frame (transparent page sharing).
+
+    One store per :class:`MachineMemory`; all overlay writes on the host
+    go through it. Interning a tag either allocates a fresh frame (first
+    sight of that content) or bumps the refcount of the existing frame
+    (a *hit* — the sharing win). Releasing drops the refcount and frees
+    the frame when it reaches zero.
+
+    Invariants (checked by :meth:`audit` and the hypothesis ledger test):
+
+    * ``total_refs`` == Σ over live address spaces of their overlay size;
+    * ``distinct_frames`` == physical frames the store holds
+      == the owning memory's ``private_frames``;
+    * ``shared_frames`` == entries with ``refs >= 2``;
+    * ``savings_frames`` == ``total_refs - distinct_frames`` — frames a
+      sharing-off host would additionally need for the same contents.
+
+    Every mutation also maintains each holder's ``_exclusive_frames``
+    (frames only that space references), which is what makes reclamation
+    projection O(1): destroying a VM returns exactly its exclusive
+    frames, because shared frames outlive it.
+    """
+
+    def __init__(self, memory: "MachineMemory") -> None:
+        self.memory = memory
+        self._entries: Dict[int, _SharedEntry] = {}
+        self.total_refs = 0
+        self.shared_frames = 0     # entries currently referenced >= 2 times
+        self.attach_hits = 0       # interns that matched an existing frame
+        self.frames_recycled = 0   # sole-owner rewrites that reused the frame
+
+    # ------------------------------------------------------------------ #
+    # Accounting views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def distinct_frames(self) -> int:
+        """Physical frames currently backing the store."""
+        return len(self._entries)
+
+    @property
+    def savings_frames(self) -> int:
+        """Frames avoided versus a no-sharing host with the same contents."""
+        return self.total_refs - len(self._entries)
+
+    def refs_of(self, tag: int) -> int:
+        """Current reference count of ``tag`` (0 if not resident)."""
+        entry = self._entries.get(tag)
+        return entry.refs if entry is not None else 0
+
+    # ------------------------------------------------------------------ #
+    # Mutation — all O(1)
+    # ------------------------------------------------------------------ #
+
+    def intern(self, space: "GuestAddressSpace", tag: int) -> None:
+        """Map one page of ``space`` to the frame holding ``tag``,
+        allocating the frame if this content is new to the host.
+
+        Raises :class:`OutOfMemoryError` (with no state change) when a
+        fresh frame is needed and the pool is exhausted.
+        """
+        entry = self._entries.get(tag)
+        if entry is None:
+            self.memory._allocate_private(1)  # may raise; nothing mutated yet
+            entry = _SharedEntry()
+            self._entries[tag] = entry
+            space._exclusive_frames += 1
+        else:
+            self.attach_hits += 1
+            holders = entry.holders
+            if len(holders) == 1 and space not in holders:
+                # The sole current holder is gaining a co-sharer.
+                next(iter(holders))._exclusive_frames -= 1
+            if entry.refs == 1:
+                self.shared_frames += 1
+        entry.refs += 1
+        entry.holders[space] = entry.holders.get(space, 0) + 1
+        self.total_refs += 1
+
+    def release(self, space: "GuestAddressSpace", tag: int) -> None:
+        """Drop one of ``space``'s references to ``tag``, freeing the
+        frame when the last reference anywhere goes."""
+        entry = self._entries[tag]
+        holders = entry.holders
+        count = holders[space]
+        entry.refs -= 1
+        self.total_refs -= 1
+        if entry.refs == 1:
+            self.shared_frames -= 1
+        if count == 1:
+            del holders[space]
+            if not holders:
+                del self._entries[tag]
+                self.memory._free_private(1)
+                space._exclusive_frames -= 1
+            elif len(holders) == 1:
+                # Down to one surviving holder: it owns the frame now.
+                next(iter(holders))._exclusive_frames += 1
+        else:
+            holders[space] = count - 1
+
+    def exchange(self, space: "GuestAddressSpace", old_tag: int, new_tag: int) -> None:
+        """Rewrite one of ``space``'s pages from ``old_tag`` to
+        ``new_tag`` without ever dropping the old mapping on failure.
+
+        The common case — a sole owner dirtying to content nobody else
+        holds — reuses the existing frame in place: no allocator
+        round-trip and no transient over-allocation. Otherwise the new
+        tag is interned *first* (so an OOM leaves the page intact) and
+        the old reference released after.
+        """
+        if old_tag == new_tag:
+            return
+        old_entry = self._entries[old_tag]
+        if old_entry.refs == 1 and new_tag not in self._entries:
+            del self._entries[old_tag]
+            self._entries[new_tag] = old_entry
+            self.frames_recycled += 1
+            return
+        self.intern(space, new_tag)  # may raise; old mapping still intact
+        self.release(space, old_tag)
+
+    # ------------------------------------------------------------------ #
+    # Verification (tests and the sweep's ledger check)
+    # ------------------------------------------------------------------ #
+
+    def audit(self) -> None:
+        """Recount every counter from the raw entries; raise
+        :class:`AssertionError` on any drift. O(entries) — for tests and
+        debugging, not the hot path."""
+        refs = sum(e.refs for e in self._entries.values())
+        if refs != self.total_refs:
+            raise AssertionError(
+                f"shared store drift: total_refs={self.total_refs} but entries sum to {refs}"
+            )
+        shared = sum(1 for e in self._entries.values() if e.refs >= 2)
+        if shared != self.shared_frames:
+            raise AssertionError(
+                f"shared store drift: shared_frames={self.shared_frames}, recount {shared}"
+            )
+        for tag, entry in self._entries.items():
+            if entry.refs != sum(entry.holders.values()):
+                raise AssertionError(f"entry {tag}: refs disagree with holder multiset")
+            if entry.refs <= 0:
+                raise AssertionError(f"entry {tag}: resident with refs={entry.refs}")
+        exclusive: Dict["GuestAddressSpace", int] = {}
+        for entry in self._entries.values():
+            if len(entry.holders) == 1:
+                holder = next(iter(entry.holders))
+                exclusive[holder] = exclusive.get(holder, 0) + 1
+        for space, expect in exclusive.items():
+            if space._exclusive_frames != expect:
+                raise AssertionError(
+                    f"space {space!r}: _exclusive_frames={space._exclusive_frames},"
+                    f" recount {expect}"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<SharedFrameStore frames={self.distinct_frames}"
+            f" refs={self.total_refs} shared={self.shared_frames}"
+            f" saved={self.savings_frames}>"
+        )
+
+
 class MachineMemory:
     """A host's pool of physical page frames.
 
     Tracks allocation against a hard capacity; the honeyfarm's
-    VMs-per-host results come directly from this accounting.
+    VMs-per-host results come directly from this accounting. The pool is
+    split into invariant-checked sub-ledgers — ``image_frames`` (frozen
+    reference images) and ``private_frames`` (VM overlays, deduplicated
+    by the :class:`SharedFrameStore` when ``content_sharing`` is on).
     """
 
-    def __init__(self, capacity_bytes: int) -> None:
+    def __init__(self, capacity_bytes: int, content_sharing: bool = True) -> None:
         if capacity_bytes <= 0:
             raise ValueError(f"capacity must be positive: {capacity_bytes!r}")
         self.capacity_frames = capacity_bytes // PAGE_SIZE
         self.allocated_frames = 0
         self.peak_allocated_frames = 0
         self.allocation_failures = 0
+        self.image_frames = 0
+        self.private_frames = 0
+        self.content_sharing = bool(content_sharing)
+        self.sharing: Optional[SharedFrameStore] = (
+            SharedFrameStore(self) if content_sharing else None
+        )
 
     @property
     def capacity_bytes(self) -> int:
@@ -79,6 +283,16 @@ class MachineMemory:
     @property
     def free_frames(self) -> int:
         return self.capacity_frames - self.allocated_frames
+
+    @property
+    def shared_frames(self) -> int:
+        """Frames currently mapped by two or more page references."""
+        return self.sharing.shared_frames if self.sharing is not None else 0
+
+    @property
+    def sharing_savings_frames(self) -> int:
+        """Frames content sharing is saving right now (0 when disabled)."""
+        return self.sharing.savings_frames if self.sharing is not None else 0
 
     def allocate(self, frames: int) -> None:
         """Claim ``frames`` physical frames or raise :class:`OutOfMemoryError`."""
@@ -107,10 +321,51 @@ class MachineMemory:
     def can_fit(self, frames: int) -> bool:
         return self.allocated_frames + frames <= self.capacity_frames
 
+    # ------------------------------------------------------------------ #
+    # Sub-ledgers (image vs private); all frames flow through these so
+    # the frame invariant below stays exact.
+    # ------------------------------------------------------------------ #
+
+    def _allocate_image(self, frames: int) -> None:
+        self.allocate(frames)
+        self.image_frames += frames
+
+    def _free_image(self, frames: int) -> None:
+        self.free(frames)
+        self.image_frames -= frames
+
+    def _allocate_private(self, frames: int) -> None:
+        self.allocate(frames)
+        self.private_frames += frames
+
+    def _free_private(self, frames: int) -> None:
+        self.free(frames)
+        self.private_frames -= frames
+
+    def check_frame_invariant(self) -> None:
+        """Assert the frame ledger balances; O(1).
+
+        ``allocated == image + private`` always, and with sharing on the
+        private ledger must equal the store's distinct frame count (every
+        private frame is owned by exactly one store entry).
+        """
+        if self.image_frames + self.private_frames != self.allocated_frames:
+            raise AssertionError(
+                f"frame ledger drift: image={self.image_frames}"
+                f" + private={self.private_frames}"
+                f" != allocated={self.allocated_frames}"
+            )
+        if self.sharing is not None and self.sharing.distinct_frames != self.private_frames:
+            raise AssertionError(
+                f"frame ledger drift: store holds {self.sharing.distinct_frames}"
+                f" frames but private ledger says {self.private_frames}"
+            )
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"<MachineMemory {self.allocated_frames}/{self.capacity_frames} frames"
-            f" ({self.allocated_bytes // (1 << 20)} MiB used)>"
+            f" ({self.allocated_bytes // (1 << 20)} MiB used)"
+            f" sharing={'on' if self.sharing is not None else 'off'}>"
         )
 
 
@@ -125,7 +380,7 @@ class ReferenceImage:
     def __init__(self, memory: MachineMemory, page_count: int, name: str = "reference") -> None:
         if page_count <= 0:
             raise ValueError(f"page_count must be positive: {page_count!r}")
-        memory.allocate(page_count)
+        memory._allocate_image(page_count)
         self.memory = memory
         self.page_count = page_count
         self.name = name
@@ -169,7 +424,7 @@ class ReferenceImage:
             return
         if self.sharers > 0:
             raise ValueError(f"cannot release image with {self.sharers} sharers")
-        self.memory.free(self.page_count)
+        self.memory._free_image(self.page_count)
         self.released = True
 
     @property
@@ -193,24 +448,42 @@ class GuestAddressSpace:
     * ``GuestAddressSpace(image, eager_copy=True)`` — the **full-copy
       baseline**: every page is copied (and charged) up front, as a
       conventional clone would.
+
+    When the host memory has content sharing enabled, every overlay
+    write routes through its :class:`SharedFrameStore`, so identical
+    contents across (or within) VMs cost one frame.
     """
 
     def __init__(self, image: ReferenceImage, eager_copy: bool = False) -> None:
         image.attach()
         self.image = image
         self.memory = image.memory
+        self._store = self.memory.sharing
         self.eager_copy = eager_copy
         self._overlay: Dict[int, int] = {}
         self.cow_faults = 0
+        # Frames only this space references; maintained by the store.
+        # Equals len(_overlay) when sharing is off.
+        self._exclusive_frames = 0
         self.destroyed = False
         if eager_copy:
             try:
-                self.memory.allocate(image.page_count)
+                if self._store is not None:
+                    for page in range(image.page_count):
+                        tag = next(_content_versions)
+                        self._store.intern(self, tag)
+                        self._overlay[page] = tag
+                else:
+                    self.memory._allocate_private(image.page_count)
+                    for page in range(image.page_count):
+                        self._overlay[page] = next(_content_versions)
             except OutOfMemoryError:
+                # Roll back the partial copy; the caller sees a clean failure.
+                for tag in self._overlay.values():
+                    self._store.release(self, tag)
+                self._overlay.clear()
                 image.detach()
                 raise
-            for page in range(image.page_count):
-                self._overlay[page] = next(_content_versions)
 
     # ------------------------------------------------------------------ #
     # Access
@@ -229,22 +502,29 @@ class GuestAddressSpace:
         return self.image.content_of(page)
 
     def write(self, page: int, content: Optional[int] = None) -> int:
-        """Dirty ``page``, taking a CoW fault (and a private frame) on the
-        first write; returns the new content tag.
+        """Dirty ``page``, taking a CoW fault on the first write; returns
+        the new content tag.
 
         ``content`` pins the page's content tag: two pages (in any VMs)
         written with the same tag hold identical bytes. Malware bodies
         use this — the same worm writes the same code everywhere — which
-        is what content-based sharing analysis (future work in the paper,
-        quantified by :mod:`repro.analysis.dedup`) keys on. ``None``
-        means freshly generated, globally unique content.
+        is exactly what the shared-frame store collapses: with sharing
+        on, only the first write of a tag on the host pays a frame.
+        ``None`` means freshly generated, globally unique content.
         """
         self._check_alive()
         self.image._check_page(page)
-        if page not in self._overlay:
-            self.memory.allocate(1)
-            self.cow_faults += 1
         tag = next(_content_versions) if content is None else content
+        store = self._store
+        if page in self._overlay:
+            if store is not None:
+                store.exchange(self, self._overlay[page], tag)
+        else:
+            if store is not None:
+                store.intern(self, tag)
+            else:
+                self.memory._allocate_private(1)
+            self.cow_faults += 1
         self._overlay[page] = tag
         return tag
 
@@ -253,7 +533,7 @@ class GuestAddressSpace:
         return iter(self._overlay.items())
 
     def is_private(self, page: int) -> bool:
-        """Whether ``page`` is backed by a private frame."""
+        """Whether ``page`` has been dirtied away from the image."""
         self.image._check_page(page)
         return page in self._overlay
 
@@ -263,7 +543,7 @@ class GuestAddressSpace:
 
     @property
     def private_pages(self) -> int:
-        """Pages backed by private frames — the VM's marginal footprint."""
+        """Pages dirtied away from the image (logical overlay size)."""
         return len(self._overlay)
 
     @property
@@ -273,6 +553,18 @@ class GuestAddressSpace:
     @property
     def private_bytes(self) -> int:
         return self.private_pages * PAGE_SIZE
+
+    @property
+    def reclaimable_frames(self) -> int:
+        """Physical frames destroying this space returns to the pool.
+
+        Under content sharing only *exclusively held* frames come back —
+        frames shared with other spaces survive the teardown — so this,
+        not :attr:`private_pages`, is what reclamation must project.
+        """
+        if self._store is not None:
+            return self._exclusive_frames
+        return len(self._overlay)
 
     def sharing_ratio(self) -> float:
         """Fraction of this VM's pages still shared with the image."""
@@ -286,14 +578,22 @@ class GuestAddressSpace:
     # ------------------------------------------------------------------ #
 
     def destroy(self) -> int:
-        """Release all private frames and detach from the image.
+        """Release all private references and detach from the image.
 
-        Returns the number of frames freed. Idempotent.
+        Returns the number of physical frames freed (under sharing this
+        can be less than the overlay size). Idempotent.
         """
         if self.destroyed:
             return 0
-        freed = len(self._overlay)
-        self.memory.free(freed)
+        store = self._store
+        if store is not None:
+            before = self.memory.allocated_frames
+            for tag in self._overlay.values():
+                store.release(self, tag)
+            freed = before - self.memory.allocated_frames
+        else:
+            freed = len(self._overlay)
+            self.memory._free_private(freed)
         self._overlay.clear()
         self.image.detach()
         self.destroyed = True

@@ -165,6 +165,12 @@ class VirtualMachine:
     def private_bytes(self) -> int:
         return self.address_space.private_bytes
 
+    @property
+    def reclaimable_frames(self) -> int:
+        """Physical frames destroying this VM frees (excludes frames the
+        content-sharing store still shares with other VMs)."""
+        return self.address_space.reclaimable_frames
+
     def lifetime(self, now: float) -> float:
         """Seconds alive so far (or total, if destroyed)."""
         end = self.destroyed_at if self.destroyed_at is not None else now

@@ -153,23 +153,50 @@ class TestGuestDiskActivity:
 
 
 class TestDedupOpportunity:
-    def test_worm_bodies_are_shareable(self):
-        farm = Honeyfarm(HoneyfarmConfig(
+    def _storm(self, victims, **overrides):
+        config = HoneyfarmConfig(
             prefixes=("10.16.0.0/27",), num_hosts=1,
             containment="drop-all", clone_jitter=0.0, seed=2,
-        ))
-        victims = 8
+            **overrides,
+        )
+        farm = Honeyfarm(config)
         for i in range(victims):
             farm.inject(udp_packet(ATTACKER, IPAddress.parse(f"10.16.0.{i + 1}"),
                                    1, 1434, payload="exploit:slammer"))
         farm.run(until=3.0)
+        return farm
+
+    def test_worm_bodies_already_shared_live(self):
+        """With the shared-frame store on (the default), the scanner
+        finds every worm-body duplicate already collapsed: zero remaining
+        opportunity, and the live ledger agrees with the scan."""
+        victims = 8
+        farm = self._storm(victims)
         stats = dedup_opportunity(farm.hosts)
         assert stats.vms_scanned == victims
         slammer_pages = 64  # catalog infection size
-        # Each victim beyond the first contributes a fully shareable body.
+        # Each victim beyond the first shares its whole body live.
+        assert stats.already_shared_frames == (victims - 1) * slammer_pages
+        assert stats.shareable_frames == 0
+        assert stats.savings_fraction == 0.0
+        assert stats.largest_duplicate_group == victims
+        memory = farm.hosts[0].memory
+        assert memory.sharing_savings_frames == (victims - 1) * slammer_pages
+        assert memory.shared_frames == slammer_pages
+
+    def test_worm_bodies_shareable_with_sharing_off(self):
+        """The ablation preserves the original measurement: the scan
+        reports the duplicates a content-sharing VMM would reclaim."""
+        victims = 8
+        farm = self._storm(victims, content_sharing=False)
+        stats = dedup_opportunity(farm.hosts)
+        assert stats.vms_scanned == victims
+        slammer_pages = 64  # catalog infection size
         assert stats.shareable_frames == (victims - 1) * slammer_pages
+        assert stats.already_shared_frames == 0
         assert stats.largest_duplicate_group == victims
         assert 0.0 < stats.savings_fraction < 1.0
+        assert farm.hosts[0].memory.sharing_savings_frames == 0
 
     def test_clean_vms_share_nothing(self):
         farm = Honeyfarm(HoneyfarmConfig(
