@@ -18,6 +18,11 @@ before writing code against the API:
 * ``potemkin trace`` — the flight recorder: re-run a scenario with the
   structured event trace armed and dump JSONL, or inspect an existing
   trace file (``--filter subsystem=gateway``, ``--tail 20``).
+* ``potemkin conform`` — the differential conformance fuzzer: generate
+  random scenarios from a root seed, run each through the world matrix
+  (delta / full-copy / sharing flip / alternate containment / responder
+  baseline), check every invariant oracle, and optionally shrink any
+  failure to a minimal JSON repro plus a paste-ready pytest case.
 """
 
 from __future__ import annotations
@@ -230,6 +235,85 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_conform(args: argparse.Namespace) -> int:
+    import time
+    from pathlib import Path
+
+    from repro.testing import run_conformance
+    from repro.testing.shrink import failure_predicate, pytest_case, shrink_scenario
+
+    seed = args.seed
+    if seed is None:
+        import os
+
+        seed = int.from_bytes(os.urandom(4), "big")
+    runs = 10 if args.smoke else args.runs
+
+    print(f"conformance fuzz: root seed {seed}, {runs} scenarios")
+    print(f"replay with: potemkin conform --seed {seed} --runs {runs}")
+
+    started = time.perf_counter()
+
+    def progress(index: int, verdict) -> None:
+        s = verdict.scenario
+        status = "ok" if verdict.passed else (
+            "FAIL " + ",".join(verdict.failing_oracles)
+        )
+        print(
+            f"  [{index}] {s.name}: containment={s.containment}"
+            f" memory={s.memory_profile} waves={len(s.worm_waves)}"
+            f" faults={len(s.fault_events)} -> {status}"
+            f" ({verdict.elapsed_seconds:.2f}s)"
+        )
+
+    report = run_conformance(seed, runs, on_verdict=progress)
+    elapsed = time.perf_counter() - started
+    print(
+        f"\n{report.scenarios_run} scenarios x 5 worlds,"
+        f" {len(report.oracle_names)} oracles"
+        f" ({', '.join(report.oracle_names)}) in {elapsed:.1f}s"
+    )
+    if report.passed:
+        print("all oracles green")
+        return 0
+
+    artifacts = Path(args.artifacts)
+    artifacts.mkdir(parents=True, exist_ok=True)
+    for verdict in report.failures:
+        index = report.verdicts.index(verdict)
+        stem = f"seed{seed}-idx{index}"
+        failure_path = artifacts / f"{stem}.json"
+        failure_path.write_text(json.dumps(verdict.to_dict(), indent=2) + "\n")
+        print(f"\nFAILURE [{index}] {verdict.scenario.name} -> {failure_path}")
+        for violation in verdict.violations:
+            print(f"  {violation}")
+        if args.shrink:
+            print("  shrinking (re-verifying the failure each step)...")
+            result = shrink_scenario(
+                verdict.scenario,
+                failure_predicate(verdict.failing_oracles),
+                failing_oracles=verdict.failing_oracles,
+                max_evaluations=args.shrink_budget,
+            )
+            min_path = artifacts / f"{stem}-min.json"
+            min_path.write_text(json.dumps(result.to_dict(), indent=2) + "\n")
+            repro_path = artifacts / f"{stem}-repro.py"
+            repro_path.write_text(
+                pytest_case(result.minimized, result.failing_oracles)
+            )
+            print(
+                f"  minimized size {result.original.size()} ->"
+                f" {result.minimized.size()}"
+                f" in {result.evaluations} evaluations -> {min_path}"
+            )
+            print(f"  paste-ready pytest case -> {repro_path}")
+    print(
+        f"\n{len(report.failures)}/{report.scenarios_run} scenarios failed;"
+        f" replay with: potemkin conform --seed {seed} --runs {runs}"
+    )
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="potemkin",
@@ -331,6 +415,28 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--smoke", action="store_true",
                        help="short CI drill (45s, crash at 25s)")
     trace.set_defaults(func=_cmd_trace)
+
+    conform = sub.add_parser(
+        "conform",
+        help="differential conformance fuzz: scenarios x worlds x oracles",
+    )
+    conform.add_argument(
+        "--seed", type=int, default=None,
+        help="root seed (default: random; always printed for replay)",
+    )
+    conform.add_argument("--runs", type=int, default=25,
+                         help="number of generated scenarios")
+    conform.add_argument("--smoke", action="store_true",
+                         help="bounded CI pass (10 scenarios)")
+    conform.add_argument("--shrink", action="store_true",
+                         help="minimize failing scenarios and emit repro files")
+    conform.add_argument("--shrink-budget", type=int, default=80,
+                         help="max differential re-runs per shrink")
+    conform.add_argument(
+        "--artifacts", default="benchmarks/reports/conform_failures",
+        help="directory for failing-scenario JSON and repro files",
+    )
+    conform.set_defaults(func=_cmd_conform)
     return parser
 
 

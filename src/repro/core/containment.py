@@ -209,14 +209,35 @@ class ReflectionNat:
     to ``X`` before delivery, so ``v``'s TCP stack sees the peer it
     contacted. Entries are per (vm address, internal address) pair, so
     one VM may converse with many reflected peers concurrently.
+
+    The reverse direction matters just as much for containment: once the
+    translated reply is delivered, ``v``'s flow state says it is talking
+    to external ``X``, so its *next* packet on that conversation is
+    addressed to ``X`` — and without the ``(v, X) -> Y`` rewrite it would
+    ride the reply path straight out of the farm (the differential
+    harness caught exactly this: a reflected worm's exploit payload
+    escaping to the real external host).
     """
 
     def __init__(self) -> None:
         self._map: Dict[Tuple[IPAddress, IPAddress], IPAddress] = {}
+        self._reverse: Dict[Tuple[IPAddress, IPAddress], IPAddress] = {}
         self.translations = 0
+        self.outbound_translations = 0
 
     def record(self, vm_ip: IPAddress, internal: IPAddress, original: IPAddress) -> None:
         self._map[(vm_ip, internal)] = original
+        self._reverse[(vm_ip, original)] = internal
+
+    def translate_outbound_destination(self, packet: Packet) -> Optional[Packet]:
+        """If ``packet`` (infected VM → external address it was told it
+        reached) matches a reflection entry, rewrite the destination back
+        to the internal stand-in; returns None when no entry applies."""
+        internal = self._reverse.get((packet.src, packet.dst))
+        if internal is None:
+            return None
+        self.outbound_translations += 1
+        return packet.with_destination(internal)
 
     def translate_reply_source(self, reply: Packet) -> Packet:
         """If ``reply`` (internal stand-in → infected VM) matches a
@@ -245,6 +266,13 @@ class ReflectionNat:
         doomed = [key for key in self._map if key[0] == vm_ip or key[1] == vm_ip]
         for key in doomed:
             del self._map[key]
+        reverse_doomed = [
+            key
+            for key, internal in self._reverse.items()
+            if key[0] == vm_ip or internal == vm_ip
+        ]
+        for key in reverse_doomed:
+            del self._reverse[key]
         return len(doomed)
 
     def __len__(self) -> int:

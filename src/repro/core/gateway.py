@@ -131,6 +131,7 @@ class Gateway:
         self._c_out_dropped = handle("gateway.outbound.dropped")
         self._c_out_dns_redirected = handle("gateway.outbound.dns_redirected")
         self._c_out_reflected = handle("gateway.outbound.reflected")
+        self._c_out_nat_rewritten = handle("gateway.outbound.nat_rewritten")
         self._c_reply_allowed = handle("gateway.outbound.reply_allowed")
         self._c_initiated_external = handle("gateway.initiated_external_out")
         self._c_reply_external = handle("gateway.reply_external_out")
@@ -403,6 +404,24 @@ class Gateway:
         # Internal resolver traffic is farm infrastructure, not egress.
         if self.dns_server is not None and packet.dst == self.dns_server.address:
             self._deliver_dns(vm, packet, original_resolver=None)
+            return
+
+        # Reverse reflection NAT: this VM was previously reflected onto an
+        # internal stand-in for packet.dst, so the whole conversation must
+        # keep routing to the stand-in. Without this, the stand-in's
+        # NAT-translated reply leaves a flow whose initiator looks
+        # external, and the VM's next packet (e.g. the exploit payload
+        # after the SYN handshake) would sail out the reply path.
+        rewritten = self.nat.translate_outbound_destination(packet)
+        if rewritten is not None:
+            self._c_out_nat_rewritten.increment()
+            if _obs.ACTIVE is not None:
+                _obs.ACTIVE.emit(
+                    self.sim.now, "gateway", "containment",
+                    action="nat-rewrite", src=str(packet.src),
+                    dst=str(packet.dst), vm_id=vm.vm_id,
+                )
+            self.process_inbound(rewritten.decremented_ttl())
             return
 
         record, created = self.flows.observe(packet, self.sim.now)

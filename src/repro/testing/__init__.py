@@ -1,0 +1,59 @@
+"""Deterministic differential simulation testing.
+
+The paper's headline claims are *equivalences* — delta virtualization is
+guest-invisible versus full-copy cloning, content sharing is invisible
+versus its ablation, containment bottles the epidemic without changing
+what the attacker sees. This package generalizes the repo's hand-written
+A/B tests into a fuzzing harness that hunts for divergences across the
+whole configuration space:
+
+* :mod:`repro.testing.scenario` — :class:`Scenario`, a serializable,
+  bit-identically-replayable description of one randomized run, and
+  :class:`ScenarioGenerator`, which synthesizes them from a root seed.
+* :mod:`repro.testing.worlds` — build and run one scenario through a
+  configured *world* (clone mode x containment x sharing, or the
+  stateless-responder baseline), producing a plain-data
+  :class:`WorldObservation`.
+* :mod:`repro.testing.oracles` — pluggable invariants checked over the
+  observations: conservation ledgers, equivalences, containment safety,
+  clock monotonicity, and metric/trace self-consistency.
+* :mod:`repro.testing.differential` — the runner that executes a
+  scenario through the whole world matrix and applies every registered
+  oracle.
+* :mod:`repro.testing.shrink` — when an oracle fails, greedily minimize
+  the scenario while re-verifying the failure, and emit a JSON repro
+  plus a ready-to-paste pytest case.
+
+Entry point: ``potemkin conform`` (see :mod:`repro.cli`).
+"""
+
+from repro.testing.differential import (
+    ConformanceReport,
+    DifferentialRunner,
+    ScenarioVerdict,
+    run_conformance,
+)
+from repro.testing.oracles import Oracle, OracleRegistry, Violation, default_registry
+from repro.testing.scenario import Scenario, ScenarioGenerator, WormWave
+from repro.testing.shrink import ShrinkResult, shrink_scenario
+from repro.testing.worlds import WorldObservation, WorldSpec, run_world, world_matrix
+
+__all__ = [
+    "ConformanceReport",
+    "DifferentialRunner",
+    "Oracle",
+    "OracleRegistry",
+    "Scenario",
+    "ScenarioGenerator",
+    "ScenarioVerdict",
+    "ShrinkResult",
+    "Violation",
+    "WorldObservation",
+    "WorldSpec",
+    "WormWave",
+    "default_registry",
+    "run_conformance",
+    "run_world",
+    "shrink_scenario",
+    "world_matrix",
+]

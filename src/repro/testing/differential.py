@@ -1,0 +1,166 @@
+"""The differential runner: one scenario, N worlds, every oracle.
+
+This is the harness core: build the scenario's trace once, replay it
+through the whole world matrix (delta / sharing flip / full-copy /
+alternate containment / responder baseline), then hand the observation
+map to the oracle registry. A scenario *passes* when every oracle
+returns zero violations.
+
+``run_conformance`` is the fuzzing entry point used by ``potemkin
+conform`` and CI: generate ``runs`` scenarios from a root seed and run
+each through the matrix, collecting per-scenario verdicts. Everything is
+deterministic — the same root seed replays the identical campaign.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.testing.oracles import OracleRegistry, Violation, default_registry
+from repro.testing.scenario import Scenario, ScenarioGenerator
+from repro.testing.worlds import WorldObservation, WorldSpec, run_world, world_matrix
+
+__all__ = [
+    "ConformanceReport",
+    "DifferentialRunner",
+    "ScenarioVerdict",
+    "run_conformance",
+]
+
+
+@dataclass
+class ScenarioVerdict:
+    """Outcome of one scenario's trip through the world matrix."""
+
+    scenario: Scenario
+    violations: List[Violation]
+    world_summaries: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    @property
+    def failing_oracles(self) -> List[str]:
+        seen: List[str] = []
+        for violation in self.violations:
+            if violation.oracle not in seen:
+                seen.append(violation.oracle)
+        return seen
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario.to_dict(),
+            "passed": self.passed,
+            "violations": [v.to_dict() for v in self.violations],
+            "worlds": self.world_summaries,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+        }
+
+
+@dataclass
+class ConformanceReport:
+    """A whole fuzzing campaign: root seed plus per-scenario verdicts."""
+
+    root_seed: int
+    verdicts: List[ScenarioVerdict] = field(default_factory=list)
+    oracle_names: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(v.passed for v in self.verdicts)
+
+    @property
+    def failures(self) -> List[ScenarioVerdict]:
+        return [v for v in self.verdicts if not v.passed]
+
+    @property
+    def scenarios_run(self) -> int:
+        return len(self.verdicts)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "root_seed": self.root_seed,
+            "scenarios_run": self.scenarios_run,
+            "passed": self.passed,
+            "oracles": self.oracle_names,
+            "failures": [v.to_dict() for v in self.failures],
+        }
+
+
+class DifferentialRunner:
+    """Executes scenarios through a world matrix and an oracle registry.
+
+    ``worlds`` overrides the matrix (callable scenario -> specs) — the
+    shrinker narrows it to the worlds implicated in a failure, and tests
+    inject single-world matrices.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[OracleRegistry] = None,
+        worlds: Optional[Callable[[Scenario], Sequence[WorldSpec]]] = None,
+        recorder_capacity: int = 400_000,
+    ) -> None:
+        self.registry = registry if registry is not None else default_registry()
+        self.worlds = worlds if worlds is not None else world_matrix
+        self.recorder_capacity = recorder_capacity
+
+    def observe(self, scenario: Scenario) -> Dict[str, WorldObservation]:
+        """Run every world on the scenario's (shared) trace."""
+        trace = scenario.build_trace()
+        return {
+            spec.name: run_world(
+                scenario, spec, trace=trace,
+                recorder_capacity=self.recorder_capacity,
+            )
+            for spec in self.worlds(scenario)
+        }
+
+    def run_scenario(self, scenario: Scenario) -> ScenarioVerdict:
+        started = time.perf_counter()
+        trace = scenario.build_trace()
+        observations = {
+            spec.name: run_world(
+                scenario, spec, trace=trace,
+                recorder_capacity=self.recorder_capacity,
+            )
+            for spec in self.worlds(scenario)
+        }
+        violations = self.registry.check_all(scenario, observations, trace)
+        return ScenarioVerdict(
+            scenario=scenario,
+            violations=violations,
+            world_summaries={
+                name: obs.summary() for name, obs in observations.items()
+            },
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+
+def run_conformance(
+    root_seed: int,
+    runs: int,
+    registry: Optional[OracleRegistry] = None,
+    start_index: int = 0,
+    on_verdict: Optional[Callable[[int, ScenarioVerdict], None]] = None,
+) -> ConformanceReport:
+    """Fuzz ``runs`` generated scenarios; deterministic in ``root_seed``.
+
+    ``on_verdict(index, verdict)`` fires after each scenario — the CLI
+    uses it for progress lines and early artifact writes.
+    """
+    runner = DifferentialRunner(registry=registry)
+    generator = ScenarioGenerator(root_seed)
+    report = ConformanceReport(
+        root_seed=root_seed, oracle_names=runner.registry.names()
+    )
+    for index in range(start_index, start_index + runs):
+        verdict = runner.run_scenario(generator.scenario(index))
+        report.verdicts.append(verdict)
+        if on_verdict is not None:
+            on_verdict(index, verdict)
+    return report

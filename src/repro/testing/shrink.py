@@ -1,0 +1,180 @@
+"""Greedy scenario minimization for failing conformance runs.
+
+Given a failing scenario and a ``fails`` predicate (re-running the
+differential matrix and asking "do the same oracles still fire?"), the
+shrinker repeatedly tries size-reducing transformations — drop a fault
+event, drop a worm wave, halve the packet budget or duration, shrink the
+address space, collapse to one host — keeping a candidate only when the
+failure reproduces on it. ``Scenario.size()`` is a strictly-monotone
+cost metric, so the greedy loop terminates.
+
+The result carries a JSON repro artifact and a ready-to-paste pytest
+case: paste it into ``tests/test_conformance.py``, watch it fail until
+the bug is fixed, keep it as the regression pin.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.testing.differential import DifferentialRunner
+from repro.testing.scenario import Scenario
+
+__all__ = [
+    "ShrinkResult",
+    "failure_predicate",
+    "pytest_case",
+    "shrink_candidates",
+    "shrink_scenario",
+]
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    original: Scenario
+    minimized: Scenario
+    failing_oracles: List[str]
+    steps: List[Tuple[str, int]] = field(default_factory=list)  # (transform, new size)
+    evaluations: int = 0
+
+    @property
+    def shrank(self) -> bool:
+        return self.minimized.size() < self.original.size()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "failing_oracles": self.failing_oracles,
+            "original_size": self.original.size(),
+            "minimized_size": self.minimized.size(),
+            "evaluations": self.evaluations,
+            "steps": [list(step) for step in self.steps],
+            "original": self.original.to_dict(),
+            "minimized": self.minimized.to_dict(),
+        }
+
+
+def failure_predicate(
+    oracle_names: Sequence[str],
+    runner: Optional[DifferentialRunner] = None,
+) -> Callable[[Scenario], bool]:
+    """``fails(candidate)`` = "at least one of the originally-failing
+    oracles still fires" — the shrinker must preserve the *same* bug,
+    not trade it for a different one."""
+    runner = runner if runner is not None else DifferentialRunner()
+    wanted = set(oracle_names)
+
+    def fails(candidate: Scenario) -> bool:
+        verdict = runner.run_scenario(candidate)
+        return bool(wanted.intersection(verdict.failing_oracles))
+
+    return fails
+
+
+def shrink_candidates(scenario: Scenario) -> Iterable[Tuple[str, Scenario]]:
+    """Yield (transform-name, candidate) pairs, each strictly smaller
+    than ``scenario`` by the ``size()`` metric."""
+    for i in range(len(scenario.fault_events)):
+        events = scenario.fault_events[:i] + scenario.fault_events[i + 1:]
+        yield f"drop-fault-{i}", scenario.with_overrides(fault_events=events)
+    for i in range(len(scenario.worm_waves)):
+        waves = scenario.worm_waves[:i] + scenario.worm_waves[i + 1:]
+        yield f"drop-wave-{i}", scenario.with_overrides(worm_waves=waves)
+    for i, wave in enumerate(scenario.worm_waves):
+        if wave.sources > 1:
+            waves = (
+                scenario.worm_waves[:i]
+                + (dataclasses.replace(wave, sources=1),)
+                + scenario.worm_waves[i + 1:]
+            )
+            yield f"wave-{i}-single-source", scenario.with_overrides(worm_waves=waves)
+    if scenario.max_packets >= 40:
+        yield "halve-packets", scenario.with_overrides(
+            max_packets=max(20, scenario.max_packets // 2)
+        )
+    if scenario.duration >= 4.0:
+        yield "halve-duration", scenario.with_overrides(
+            duration=max(2.0, scenario.duration / 2.0)
+        )
+    if scenario.prefix_bits < 28:
+        yield "shrink-prefix", scenario.with_overrides(
+            prefix_bits=scenario.prefix_bits + 1
+        )
+    if scenario.num_hosts > 1 and not scenario.fault_events:
+        # Host-targeted faults need their hosts; only collapse when the
+        # fault plan is already gone.
+        yield "single-host", scenario.with_overrides(num_hosts=1)
+    if scenario.warm_pool_size > 0:
+        yield "no-warm-pool", scenario.with_overrides(warm_pool_size=0)
+    if scenario.pending_timeout is not None:
+        yield "no-pending-timeout", scenario.with_overrides(pending_timeout=None)
+    if scenario.telescope_rate >= 1.0:
+        yield "halve-telescope", scenario.with_overrides(
+            telescope_rate=max(0.5, scenario.telescope_rate / 2.0)
+        )
+    if scenario.churn:
+        yield "no-churn", scenario.with_overrides(churn=False)
+    if scenario.memory_profile == "tight":
+        yield "roomy-memory", scenario.with_overrides(memory_profile="roomy")
+
+
+def shrink_scenario(
+    scenario: Scenario,
+    fails: Callable[[Scenario], bool],
+    failing_oracles: Sequence[str] = (),
+    max_evaluations: int = 200,
+) -> ShrinkResult:
+    """Greedily minimize ``scenario`` while ``fails`` keeps returning
+    True. Every accepted step strictly reduces ``Scenario.size()``, so
+    the loop terminates; ``max_evaluations`` bounds wall time on
+    expensive predicates."""
+    result = ShrinkResult(
+        original=scenario,
+        minimized=scenario,
+        failing_oracles=list(failing_oracles),
+    )
+    current = scenario
+    progress = True
+    while progress and result.evaluations < max_evaluations:
+        progress = False
+        candidates = [
+            (name, candidate)
+            for name, candidate in shrink_candidates(current)
+            if candidate.size() < current.size()
+        ]
+        # Try the biggest reductions first: fewer evaluations to the
+        # bottom when aggressive cuts keep failing.
+        candidates.sort(key=lambda pair: pair[1].size())
+        for name, candidate in candidates:
+            if result.evaluations >= max_evaluations:
+                break
+            result.evaluations += 1
+            if fails(candidate):
+                current = candidate
+                result.steps.append((name, candidate.size()))
+                progress = True
+                break
+    result.minimized = current.with_overrides(
+        name=(scenario.name + "-min") if scenario.name else "minimized"
+    )
+    return result
+
+
+def pytest_case(
+    scenario: Scenario, failing_oracles: Sequence[str], test_name: str = "test_shrunk_repro"
+) -> str:
+    """A ready-to-paste regression test: fails while the bug lives,
+    pins the scenario once it is fixed."""
+    oracle_list = ", ".join(repr(name) for name in failing_oracles)
+    scenario_json = scenario.to_json()
+    return f'''def {test_name}():
+    """Minimized repro (oracles that fired: {oracle_list or "unknown"})."""
+    from repro.testing import DifferentialRunner, Scenario
+
+    scenario = Scenario.from_json(r"""{scenario_json}""")
+    verdict = DifferentialRunner().run_scenario(scenario)
+    assert verdict.passed, "\\n".join(str(v) for v in verdict.violations)
+'''

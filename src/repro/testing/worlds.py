@@ -1,0 +1,286 @@
+"""Build and run one scenario through one configured *world*.
+
+A world is a full farm (clone mode x containment x content sharing) or
+the stateless-responder baseline, driven by the scenario's shared packet
+trace. Running a world yields a :class:`WorldObservation` — plain data
+only (counters, digests, ledgers, recorder tallies), never live farm
+objects — so oracles compare observations without keeping simulation
+state alive, and observations serialize into failure artifacts.
+
+The guest-visible *digest* is deliberately timing-free: the multiset of
+packets the outside world received (addresses, ports, flags, payloads)
+plus the multiset of infections (victim, worm, generation). Clone modes
+legitimately differ in latency; the paper's claim is that the attacker
+sees the same *content*, which is exactly what the digest captures.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.recovery import packet_ledger
+from repro.baselines.responder import StatelessResponder
+from repro.core.honeyfarm import Honeyfarm
+from repro.faults.injectors import ChaosController
+from repro.net.addr import AddressSpaceInventory, Prefix
+from repro.obs import FlightRecorder, install, uninstall
+from repro.services.personality import default_registry
+from repro.testing.scenario import Scenario
+from repro.workloads.trace import TraceRecord, replay_into_farm
+from repro.workloads.worms import KNOWN_WORMS
+
+__all__ = [
+    "COOLDOWN_SECONDS",
+    "WorldObservation",
+    "WorldSpec",
+    "run_world",
+    "world_matrix",
+]
+
+#: Simulated seconds every world runs past the trace window, so clones
+#: in flight at the window's edge finish in every clone mode (full-copy
+#: is the slowest at ~1.1 s) and their queued packets flush before the
+#: worlds' observations are compared.
+COOLDOWN_SECONDS = 5.0
+
+#: In-farm scan-rate throttle for captured worms (simulation-budget
+#: knob, mirrors the chaos drill; containment behaviour is
+#: rate-independent).
+IN_FARM_SCAN_RATE = 2.0
+
+#: A timing-free packet identity: (src, dst, protocol, src_port,
+#: dst_port, flags, payload).
+PacketKey = Tuple[str, str, int, int, int, int, str]
+
+
+@dataclass(frozen=True)
+class WorldSpec:
+    """One column of the differential matrix.
+
+    ``containment``/``content_sharing`` of None inherit the scenario's
+    own values, so a spec like ``WorldSpec("fullcopy",
+    clone_mode="full-copy")`` differs from the primary world in exactly
+    one dimension.
+    """
+
+    name: str
+    kind: str = "farm"  # "farm" | "responder"
+    clone_mode: str = "flash"
+    containment: Optional[str] = None
+    content_sharing: Optional[bool] = None
+
+
+def world_matrix(scenario: Scenario) -> List[WorldSpec]:
+    """The default matrix: the scenario's primary delta world, its
+    sharing flip, its full-copy ablation, one alternate containment
+    policy (so every run diffs >= 2 policies), and the responder
+    baseline."""
+    alternate = "reflect" if scenario.containment == "drop-all" else "drop-all"
+    return [
+        WorldSpec("delta"),
+        WorldSpec("sharing-flip", content_sharing=not scenario.content_sharing),
+        WorldSpec("fullcopy", clone_mode="full-copy"),
+        WorldSpec(f"alt-{alternate}", containment=alternate),
+        WorldSpec("responder", kind="responder"),
+    ]
+
+
+@dataclass
+class WorldObservation:
+    """Everything the oracles may look at after one world's run."""
+
+    world: str
+    kind: str
+    clone_mode: str
+    containment: str
+    content_sharing: bool
+    sim_now: float = 0.0
+    end_time: float = 0.0
+    live_vms: int = 0
+    counters: Dict[str, int] = field(default_factory=dict)
+    #: Sorted multiset of (victim, worm, generation).
+    infections: List[Tuple[str, str, int]] = field(default_factory=list)
+    #: Sorted multiset of PacketKey for packets that left the farm.
+    external_packets: List[PacketKey] = field(default_factory=list)
+    #: farm.live_vms_series sample times (clock-monotonicity evidence).
+    series_times: List[float] = field(default_factory=list)
+    #: Flight-recorder (subsystem, event) tallies.
+    event_counts: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    #: Flight-recorder gateway dispatch verdict tallies.
+    dispatch_verdicts: Dict[str, int] = field(default_factory=dict)
+    event_times_monotone: bool = True
+    recorder_evicted: int = 0
+    frame_error: Optional[str] = None
+    pressure_evictions: int = 0
+    # Packet-conservation ledger fields (farm worlds).
+    packets_in: int = 0
+    delivered: int = 0
+    refused: int = 0
+    dropped_by_cause: Dict[str, int] = field(default_factory=dict)
+    still_pending: int = 0
+    leaked: int = 0
+    # Responder-only tallies.
+    packets_seen: int = 0
+    replies_sent: int = 0
+    would_have_infected: int = 0
+
+    def digest(self) -> Tuple[Tuple[PacketKey, ...], Tuple[Tuple[str, str, int], ...]]:
+        """The guest-visible observation: what left the farm plus what
+        was captured, timing excluded."""
+        return (tuple(self.external_packets), tuple(self.infections))
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-ready condensed view for failure artifacts."""
+        return {
+            "world": self.world,
+            "kind": self.kind,
+            "clone_mode": self.clone_mode,
+            "containment": self.containment,
+            "content_sharing": self.content_sharing,
+            "packets_in": self.packets_in,
+            "delivered": self.delivered,
+            "leaked": self.leaked,
+            "infections": len(self.infections),
+            "external_packets": len(self.external_packets),
+            "live_vms": self.live_vms,
+            "pressure_evictions": self.pressure_evictions,
+            "frame_error": self.frame_error,
+        }
+
+
+def _packet_key(packet) -> PacketKey:
+    return (
+        str(packet.src),
+        str(packet.dst),
+        packet.protocol,
+        packet.src_port,
+        packet.dst_port,
+        int(packet.flags) if packet.is_tcp else 0,
+        packet.payload,
+    )
+
+
+def run_world(
+    scenario: Scenario,
+    spec: WorldSpec,
+    trace: Optional[List[TraceRecord]] = None,
+    recorder_capacity: int = 400_000,
+) -> WorldObservation:
+    """Execute ``scenario`` through the world described by ``spec``."""
+    if trace is None:
+        trace = scenario.build_trace()
+    if spec.kind == "responder":
+        return _run_responder(scenario, spec, trace)
+    return _run_farm(scenario, spec, trace, recorder_capacity)
+
+
+def _run_farm(
+    scenario: Scenario,
+    spec: WorldSpec,
+    trace: List[TraceRecord],
+    recorder_capacity: int,
+) -> WorldObservation:
+    config = scenario.farm_config(
+        clone_mode=spec.clone_mode,
+        containment=spec.containment,
+        content_sharing=spec.content_sharing,
+    )
+    farm = Honeyfarm(config)
+    dns = farm.config.dns_address()
+    for worm in KNOWN_WORMS.values():
+        throttled = worm.with_scan_rate(min(worm.scan_rate, IN_FARM_SCAN_RATE))
+        farm.register_worm(throttled.behavior(dns))
+
+    escaped: List[PacketKey] = []
+    farm.gateway.external_sink = lambda packet: escaped.append(_packet_key(packet))
+
+    plan = scenario.fault_plan()
+    controller = ChaosController(farm, plan) if plan else None
+
+    end_time = scenario.duration + COOLDOWN_SECONDS
+    recorder = FlightRecorder(capacity=recorder_capacity)
+    install(recorder)
+    try:
+        replay_into_farm(farm, trace)
+        if controller is not None:
+            controller.start()
+        farm.run(until=end_time)
+    finally:
+        uninstall()
+
+    obs = WorldObservation(
+        world=spec.name,
+        kind="farm",
+        clone_mode=config.clone_mode,
+        containment=config.containment,
+        content_sharing=config.content_sharing,
+        sim_now=farm.sim.now,
+        end_time=end_time,
+        live_vms=farm.live_vms,
+        counters=dict(farm.metrics.counters()),
+    )
+    obs.infections = sorted(
+        (str(r.victim), r.worm_name, r.generation) for r in farm.infections
+    )
+    obs.external_packets = sorted(escaped)
+    obs.series_times = list(farm.metrics.series("farm.live_vms_series").times)
+
+    event_counts: Counter = Counter()
+    verdicts: Counter = Counter()
+    last_t = float("-inf")
+    monotone = True
+    for t, __, subsystem, event, fields in recorder.events:
+        if t < last_t:
+            monotone = False
+        last_t = t
+        event_counts[(subsystem, event)] += 1
+        if subsystem == "gateway" and event == "dispatch":
+            verdicts[fields.get("verdict", "?")] += 1
+    obs.event_counts = dict(event_counts)
+    obs.dispatch_verdicts = dict(verdicts)
+    obs.event_times_monotone = monotone
+    obs.recorder_evicted = recorder.evicted
+
+    try:
+        for host in farm.hosts:
+            host.memory.check_frame_invariant()
+    except Exception as exc:  # the oracle reports, never raises
+        obs.frame_error = f"{type(exc).__name__}: {exc}"
+
+    obs.pressure_evictions = obs.counters.get("farm.pressure_evictions", 0)
+    ledger = packet_ledger(farm)
+    obs.packets_in = ledger.packets_in
+    obs.delivered = ledger.delivered
+    obs.refused = ledger.refused
+    obs.dropped_by_cause = dict(ledger.dropped_by_cause)
+    obs.still_pending = ledger.still_pending
+    obs.leaked = ledger.leaked
+    return obs
+
+
+def _run_responder(
+    scenario: Scenario, spec: WorldSpec, trace: List[TraceRecord]
+) -> WorldObservation:
+    inventory = AddressSpaceInventory([Prefix.parse(scenario.prefix)])
+    responder = StatelessResponder(
+        inventory, default_registry().get("windows-default")
+    )
+    replies: List[PacketKey] = []
+    for record in trace:
+        for reply in responder.handle_packet(record.to_packet()):
+            replies.append(_packet_key(reply))
+    return WorldObservation(
+        world=spec.name,
+        kind="responder",
+        clone_mode="none",
+        containment="none",
+        content_sharing=False,
+        sim_now=scenario.duration,
+        end_time=scenario.duration,
+        external_packets=sorted(replies),
+        packets_seen=responder.packets_seen,
+        replies_sent=responder.replies_sent,
+        would_have_infected=responder.would_have_infected,
+    )

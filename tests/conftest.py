@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import difflib
+from pathlib import Path
+
 import pytest
 
 from repro.core.config import HoneyfarmConfig
@@ -12,6 +15,61 @@ from repro.sim.engine import Simulator
 from repro.sim.rand import SeedSequence
 from repro.vmm.host import PhysicalHost
 from repro.vmm.snapshot import ReferenceSnapshot
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/* expectations instead of failing on mismatch",
+    )
+
+
+class GoldenComparator:
+    """Compare a rendering against a committed golden file.
+
+    On mismatch, fail with a unified diff (a full-text compare is
+    unreadable when one series row changes). With ``--update-golden``,
+    rewrite the expectation instead — review the resulting git diff
+    before committing.
+    """
+
+    def __init__(self, update: bool) -> None:
+        self.update = update
+
+    def check(self, path: Path, rendered: str) -> None:
+        if self.update:
+            path.parent.mkdir(exist_ok=True)
+            path.write_text(rendered)
+            return
+        if not path.exists():
+            pytest.fail(
+                f"golden file missing: {path} — create it with "
+                "`pytest --update-golden`",
+                pytrace=False,
+            )
+        expected = path.read_text()
+        if rendered == expected:
+            return
+        diff = "".join(
+            difflib.unified_diff(
+                expected.splitlines(keepends=True),
+                rendered.splitlines(keepends=True),
+                fromfile=f"golden/{path.name}",
+                tofile="actual",
+            )
+        )
+        pytest.fail(
+            f"golden mismatch for {path.name} — if the behaviour change is "
+            f"intentional, accept with `pytest --update-golden`:\n{diff}",
+            pytrace=False,
+        )
+
+
+@pytest.fixture
+def golden(request: pytest.FixtureRequest) -> GoldenComparator:
+    return GoldenComparator(request.config.getoption("--update-golden"))
 
 
 @pytest.fixture

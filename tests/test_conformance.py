@@ -1,0 +1,253 @@
+"""The conformance harness's own test suite.
+
+Three layers:
+
+* **Pinned corpus** — every scenario JSON in ``tests/corpus/`` replays
+  through the full differential matrix with zero oracle violations.
+  ``reflect_nat_leak.json`` is the minimized repro of a real bug this
+  harness found (a reflected worm's exploit payload escaping through the
+  reply path before the reverse-NAT rewrite existed); the others pin one
+  regime each (equivalence-eligible, churn, tight+open, tight+reflect,
+  warm pool, multi-host crash).
+* **Harness mechanics** — generator/trace/world determinism, JSON
+  round-trips, world-matrix shape, oracle registry behaviour, and a
+  shrinker demonstration against an injected always-bad oracle.
+* **Fresh fuzz** (``-m fuzz``, excluded from tier-1) — generate brand
+  new scenarios and require green oracles, mirroring the CI smoke.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.testing import (
+    DifferentialRunner,
+    Scenario,
+    ScenarioGenerator,
+    WormWave,
+    default_registry,
+    run_conformance,
+    run_world,
+    world_matrix,
+)
+from repro.testing.oracles import Oracle, OracleRegistry
+from repro.testing.shrink import pytest_case, shrink_candidates, shrink_scenario
+from repro.testing.worlds import WorldSpec
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS = sorted(CORPUS_DIR.glob("*.json"))
+
+
+# --------------------------------------------------------------------- #
+# Pinned corpus
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("path", CORPUS, ids=[p.stem for p in CORPUS])
+def test_corpus_scenario_passes_all_oracles(path: Path) -> None:
+    scenario = Scenario.from_json(path.read_text())
+    verdict = DifferentialRunner().run_scenario(scenario)
+    assert verdict.passed, "\n".join(str(v) for v in verdict.violations)
+
+
+def test_corpus_is_nonempty_and_covers_the_claim_regimes() -> None:
+    assert len(CORPUS) >= 5
+    scenarios = [Scenario.from_json(p.read_text()) for p in CORPUS]
+    assert any(s.equivalence_eligible for s in scenarios)
+    assert any(s.containment == "reflect" for s in scenarios)
+    assert any(s.memory_profile == "tight" for s in scenarios)
+    assert any(s.fault_events for s in scenarios)
+
+
+# --------------------------------------------------------------------- #
+# Scenario generation and serialization
+# --------------------------------------------------------------------- #
+
+
+def test_generator_is_deterministic_per_index() -> None:
+    a, b = ScenarioGenerator(99), ScenarioGenerator(99)
+    for index in (0, 3, 17):
+        assert a.scenario(index) == b.scenario(index)
+    # Index i does not depend on whether earlier indices were drawn.
+    fresh = ScenarioGenerator(99)
+    assert fresh.scenario(17) == a.scenario(17)
+
+
+def test_generator_varies_across_indices_and_seeds() -> None:
+    g = ScenarioGenerator(5)
+    batch = g.generate(8)
+    assert len({s.seed for s in batch}) == len(batch)
+    assert len({s.containment for s in batch}) >= 2
+    assert batch[0] != ScenarioGenerator(6).scenario(0)
+
+
+def test_scenario_json_round_trip() -> None:
+    scenario = ScenarioGenerator(123).scenario(2)
+    clone = Scenario.from_json(scenario.to_json())
+    assert clone == scenario
+    assert clone.build_trace() == scenario.build_trace()
+
+
+def test_scenario_rejects_unknown_fields_and_bad_values() -> None:
+    with pytest.raises(ValueError, match="unknown fields"):
+        Scenario.from_dict({"seed": 1, "warp_factor": 9})
+    with pytest.raises(ValueError):
+        Scenario(seed=1, prefix_bits=8)
+    with pytest.raises(ValueError):
+        Scenario(seed=1, containment="firewall")
+    with pytest.raises(ValueError):
+        WormWave(worm="not-a-worm", start=0.0, duration=1.0)
+
+
+def test_trace_is_bit_identical_and_sorted() -> None:
+    scenario = ScenarioGenerator(7).scenario(1)
+    first, second = scenario.build_trace(), scenario.build_trace()
+    assert first == second
+    times = [r.time for r in first]
+    assert times == sorted(times)
+    assert len(first) <= scenario.max_packets
+
+
+# --------------------------------------------------------------------- #
+# Worlds
+# --------------------------------------------------------------------- #
+
+
+def test_world_matrix_diffs_clone_modes_and_two_containments() -> None:
+    scenario = Scenario(seed=1, containment="drop-all")
+    specs = {spec.name: spec for spec in world_matrix(scenario)}
+    modes = {spec.clone_mode for spec in specs.values() if spec.kind == "farm"}
+    assert {"flash", "full-copy"} <= modes
+    containments = {
+        spec.containment or scenario.containment
+        for spec in specs.values()
+        if spec.kind == "farm"
+    }
+    assert len(containments) >= 2
+    assert any(spec.kind == "responder" for spec in specs.values())
+    flipped = specs["sharing-flip"]
+    assert flipped.content_sharing is (not scenario.content_sharing)
+
+
+@pytest.mark.slow
+def test_run_world_is_deterministic() -> None:
+    scenario = Scenario(seed=31, duration=4.0, max_packets=120, prefix_bits=27)
+    trace = scenario.build_trace()
+    one = run_world(scenario, WorldSpec("delta"), trace=trace)
+    two = run_world(scenario, WorldSpec("delta"), trace=trace)
+    assert one.counters == two.counters
+    assert one.digest() == two.digest()
+    assert one.event_counts == two.event_counts
+
+
+# --------------------------------------------------------------------- #
+# Oracles
+# --------------------------------------------------------------------- #
+
+
+def test_registry_rejects_duplicate_names_and_preserves_order() -> None:
+    registry = default_registry()
+    names = registry.names()
+    assert names[0] == "packet-conservation"
+    assert len(names) == len(set(names)) == len(registry)
+    with pytest.raises(ValueError, match="duplicate"):
+        registry.register(next(iter(registry)))
+
+
+class _AlwaysAngry(Oracle):
+    """Injected bad oracle: fails whenever the delta world delivered
+    anything at all — shrinking can strip almost everything and the
+    failure survives."""
+
+    name = "always-angry"
+
+    def check(self, scenario, observations, trace):
+        delta = observations.get("delta")
+        if delta is not None and delta.delivered > 0:
+            return [self.violation("delta", f"delivered {delta.delivered} > 0")]
+        return []
+
+
+def _angry_runner() -> DifferentialRunner:
+    registry = OracleRegistry()
+    registry.register(_AlwaysAngry())
+    # One world keeps each shrink evaluation cheap.
+    return DifferentialRunner(
+        registry=registry, worlds=lambda s: [WorldSpec("delta")]
+    )
+
+
+@pytest.mark.slow
+def test_shrinker_minimizes_an_injected_failure() -> None:
+    runner = _angry_runner()
+    scenario = ScenarioGenerator(20260806).scenario(1)
+    original = runner.run_scenario(scenario)
+    assert not original.passed
+
+    def fails(candidate: Scenario) -> bool:
+        return not runner.run_scenario(candidate).passed
+
+    result = shrink_scenario(
+        scenario, fails, failing_oracles=["always-angry"], max_evaluations=120
+    )
+    assert result.shrank
+    assert result.minimized.size() < scenario.size()
+    assert fails(result.minimized), "minimized scenario must still fail"
+    # The shrinker should strip real bulk, not just a knob or two.
+    assert result.minimized.max_packets < scenario.max_packets
+
+
+def test_shrink_candidates_strictly_reduce_size() -> None:
+    scenario = ScenarioGenerator(20260806).scenario(1)
+    for name, candidate in shrink_candidates(scenario):
+        assert candidate.size() < scenario.size(), name
+
+
+def test_pytest_case_is_valid_python_and_replayable() -> None:
+    scenario = Scenario(seed=5, duration=2.0, max_packets=30)
+    source = pytest_case(scenario, ["containment-safety"], test_name="test_pin")
+    compile(source, "<repro>", "exec")  # must be paste-ready
+    assert "containment-safety" in source
+    embedded = source.split('r"""')[1].split('"""')[0]
+    assert Scenario.from_json(embedded) == scenario
+
+
+# --------------------------------------------------------------------- #
+# Conformance report plumbing
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.slow
+def test_run_conformance_report_shape_and_replay() -> None:
+    report = run_conformance(424242, runs=2)
+    assert report.scenarios_run == 2
+    assert report.root_seed == 424242
+    assert report.oracle_names == default_registry().names()
+    again = run_conformance(424242, runs=2)
+    assert [v.passed for v in report.verdicts] == [v.passed for v in again.verdicts]
+    assert [v.scenario for v in report.verdicts] == [
+        v.scenario for v in again.verdicts
+    ]
+    payload = json.dumps(report.to_dict())
+    assert json.loads(payload)["root_seed"] == 424242
+
+
+# --------------------------------------------------------------------- #
+# Fresh fuzz (excluded from tier-1; the CI smoke runs the CLI variant)
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("root_seed", [1, 7, 424242])
+def test_fresh_generation_fuzz(root_seed: int) -> None:
+    report = run_conformance(root_seed, runs=6)
+    failures = [
+        (i, v.failing_oracles, [str(x) for x in v.violations])
+        for i, v in enumerate(report.verdicts)
+        if not v.passed
+    ]
+    assert not failures, failures

@@ -1,0 +1,140 @@
+"""Backoff-schedule properties beyond the basics in ``test_faults_plan``.
+
+That file pins doubling, overflow safety, and the jitter band for single
+calls. This one pins the *shape* of the schedule and its determinism:
+
+* the cap holds at arbitrarily large attempt numbers, with and without
+  jitter (jitter widens the band around the cap, never past it);
+* the jitter-free schedule is non-decreasing all the way to the cap —
+  a regression here would make late retries fire *sooner* than earlier
+  ones and re-synchronize the thundering herd the jitter exists to
+  break up;
+* plan-seeded jitter streams are reproducible: two controllers built
+  from the same :class:`FaultPlan` seed drive two identical farms to
+  byte-identical fault timelines, and a different plan seed shifts the
+  jittered recurrence times without touching the farm's workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import HoneyfarmConfig
+from repro.core.honeyfarm import Honeyfarm
+from repro.faults import ChaosController, FaultPlan, host_crash
+from repro.faults.backoff import backoff_delay
+from repro.net.addr import IPAddress
+from repro.net.packet import tcp_packet
+from repro.sim.rand import SeedSequence
+
+ATTACKER = IPAddress.parse("203.0.113.9")
+
+BASE, CAP = 0.5, 8.0
+
+
+# ---------------------------------------------------------------------- #
+# Cap behaviour at large attempts
+# ---------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("attempt", [4, 33, 64, 1_000, 10**9])
+def test_cap_is_exact_at_and_beyond_saturation(attempt):
+    assert backoff_delay(attempt, BASE, CAP) == CAP
+
+
+@pytest.mark.parametrize("attempt", [50, 10**6])
+def test_cap_with_jitter_stays_inside_the_band(attempt):
+    jitter = 0.25
+    rng = SeedSequence(3).stream("backoff")
+    for _ in range(200):
+        delay = backoff_delay(attempt, BASE, CAP, jitter=jitter, rng=rng)
+        assert CAP * (1 - jitter) <= delay <= CAP * (1 + jitter)
+
+
+def test_cap_equal_to_base_pins_every_attempt():
+    for attempt in (0, 1, 7, 10**6):
+        assert backoff_delay(attempt, 2.0, 2.0) == 2.0
+
+
+# ---------------------------------------------------------------------- #
+# Schedule shape below the cap
+# ---------------------------------------------------------------------- #
+
+
+def test_jitter_free_schedule_is_non_decreasing():
+    huge_cap = BASE * 2**40  # never reached: pure exponential territory
+    delays = [backoff_delay(a, BASE, huge_cap) for a in range(48)]
+    for earlier, later in zip(delays, delays[1:]):
+        assert later >= earlier
+    # Strictly doubling until the exponent ceiling, flat after it.
+    for a in range(32):
+        assert delays[a + 1] == 2 * delays[a]
+    assert delays[33] == delays[32] == delays[40]
+
+
+def test_same_seed_streams_reproduce_identical_jittered_schedules():
+    def schedule(seed):
+        rng = SeedSequence(seed).stream("respawn-backoff")
+        return [
+            backoff_delay(a, BASE, CAP, jitter=0.2, rng=rng) for a in range(12)
+        ]
+
+    assert schedule(11) == schedule(11)
+    assert schedule(11) != schedule(12)
+
+
+# ---------------------------------------------------------------------- #
+# Plan-seeded jitter is reproducible at the controller level
+# ---------------------------------------------------------------------- #
+
+
+def run_jittered_plan(plan_seed: int):
+    """Identical farm + workload; only the fault plan's seed varies."""
+    farm = Honeyfarm(
+        HoneyfarmConfig(
+            prefixes=("10.16.0.0/24",),
+            num_hosts=2,
+            idle_timeout_seconds=300.0,
+            clone_jitter=0.0,
+            seed=9,
+        )
+    )
+    plan = FaultPlan(
+        events=(
+            host_crash(every=6.0, jitter=0.5, count=3, repair_after=1.0),
+        ),
+        seed=plan_seed,
+    )
+    controller = ChaosController(farm, plan)
+    controller.start()
+    for i in range(6):
+        farm.inject(
+            tcp_packet(ATTACKER, IPAddress.parse(f"10.16.0.{10 + i}"), 1000 + i, 445)
+        )
+    farm.run(until=60.0)
+    return farm, controller
+
+
+def timeline(controller):
+    return [
+        (r.kind, r.target, r.fired_at, r.cleared_at, r.skipped)
+        for r in controller.records
+    ]
+
+
+def test_same_plan_seed_reproduces_the_fault_timeline():
+    farm_a, ctl_a = run_jittered_plan(plan_seed=7)
+    farm_b, ctl_b = run_jittered_plan(plan_seed=7)
+    assert timeline(ctl_a) == timeline(ctl_b)
+    assert len(ctl_a.records) == 3
+    # The jitter actually moved the recurrences off the nominal grid.
+    fired = [r.fired_at for r in ctl_a.records]
+    assert fired != [6.0, 12.0, 18.0]
+    # And the whole farm run is identical, not just the fault stream.
+    assert farm_a.metrics.counters() == farm_b.metrics.counters()
+
+
+def test_different_plan_seed_shifts_only_the_fault_stream():
+    _, ctl_a = run_jittered_plan(plan_seed=7)
+    _, ctl_b = run_jittered_plan(plan_seed=8)
+    assert [r.fired_at for r in ctl_a.records] != [r.fired_at for r in ctl_b.records]

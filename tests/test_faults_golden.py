@@ -17,7 +17,7 @@ packet ledger reconciles with zero leaked packets.
 
 Regenerate (after an intentional behaviour change) with::
 
-    PYTHONPATH=src python tests/test_faults_golden.py --regen
+    PYTHONPATH=src python -m pytest tests/test_faults_golden.py --update-golden
 """
 
 from __future__ import annotations
@@ -27,6 +27,9 @@ from pathlib import Path
 
 from repro.analysis.recovery import recovery_report
 from repro.workloads.scenarios import chaos_drill_scenario
+import pytest
+
+pytestmark = pytest.mark.slow  # two full chaos-drill runs
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "chaos_drill_summary.txt"
 
@@ -70,13 +73,9 @@ def shared_run():
     return _CACHED
 
 
-def test_chaos_drill_matches_golden():
-    assert GOLDEN_PATH.exists(), (
-        f"golden file missing: {GOLDEN_PATH} — regenerate with "
-        "`PYTHONPATH=src python tests/test_faults_golden.py --regen`"
-    )
+def test_chaos_drill_matches_golden(golden):
     _, _, rendered = shared_run()
-    assert rendered == GOLDEN_PATH.read_text()
+    golden.check(GOLDEN_PATH, rendered)
 
 
 def test_chaos_drill_is_deterministic_within_process():

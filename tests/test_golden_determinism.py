@@ -8,7 +8,7 @@ counter shows up here as a diff, not as a silently shifted experiment.
 
 Regenerate (after an intentional behaviour change) with::
 
-    PYTHONPATH=src python tests/test_golden_determinism.py --regen
+    PYTHONPATH=src python -m pytest tests/test_golden_determinism.py --update-golden
 """
 
 from __future__ import annotations
@@ -64,12 +64,8 @@ def run_scenario() -> str:
     return "\n".join(lines) + "\n"
 
 
-def test_fixed_seed_scenario_matches_golden():
-    assert GOLDEN_PATH.exists(), (
-        f"golden file missing: {GOLDEN_PATH} — regenerate with "
-        "`PYTHONPATH=src python tests/test_golden_determinism.py --regen`"
-    )
-    assert run_scenario() == GOLDEN_PATH.read_text()
+def test_fixed_seed_scenario_matches_golden(golden):
+    golden.check(GOLDEN_PATH, run_scenario())
 
 
 def test_scenario_is_deterministic_within_process():

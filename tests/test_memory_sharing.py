@@ -283,6 +283,7 @@ class _World:
         self.image.release()
 
 
+@pytest.mark.slow
 class TestFrameLedgerProperty:
     @given(op_sequences())
     @settings(max_examples=120, deadline=None)
@@ -353,6 +354,7 @@ def _pressure_events(farm: Honeyfarm) -> int:
     )
 
 
+@pytest.mark.slow
 class TestSharingAblation:
     # Roomy: 256 MiB for a 16 MiB image and ~40 small victims.
     ROOMY = 256 * (1 << 20)

@@ -26,6 +26,8 @@ from repro.sim.process import Sleep, spawn
 from repro.vmm.memory import GuestAddressSpace
 from repro.vmm.vm import VirtualMachine
 
+pytestmark = pytest.mark.slow  # hypothesis equivalence sweeps
+
 _TUNNEL_A = IPAddress.parse("192.0.2.1")
 _TUNNEL_B = IPAddress.parse("192.0.2.2")
 

@@ -13,6 +13,9 @@ from repro.sim.engine import Simulator
 from repro.sim.metrics import Gauge, Histogram
 from repro.vmm.memory import GuestAddressSpace, MachineMemory, ReferenceImage
 from repro.workloads.trace import TraceRecord
+import pytest
+
+pytestmark = pytest.mark.slow  # hypothesis-heavy
 
 # ---------------------------------------------------------------------- #
 # Strategies

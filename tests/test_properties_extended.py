@@ -14,6 +14,9 @@ from repro.vmm.memory import GuestAddressSpace
 from repro.vmm.vm import VirtualMachine
 from repro.vmm.snapshot import ReferenceSnapshot
 from repro.vmm.host import PhysicalHost
+import pytest
+
+pytestmark = pytest.mark.slow  # hypothesis-heavy
 
 addresses = st.integers(min_value=1, max_value=(1 << 32) - 2).map(IPAddress)
 ports = st.integers(min_value=1, max_value=65535)
