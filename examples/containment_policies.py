@@ -82,7 +82,7 @@ def main() -> None:
         AddressSpaceInventory([p for p in
                                HoneyfarmConfig(prefixes=("10.16.0.0/25",))
                                .parsed_prefixes()]),
-        registry.get("windows-default"),
+        registry,
     )
     for packet in exploit_packets():
         responder.handle_packet(packet)

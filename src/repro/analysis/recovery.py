@@ -64,6 +64,7 @@ class PacketLedger:
     refused: int  # ttl expired + strays (never the farm's to handle)
     dropped_by_cause: Dict[str, int] = field(default_factory=dict)
     still_pending: int = 0
+    emulated: int = 0  # served by the fidelity ladder's emulator tier
 
     @property
     def dropped(self) -> int:
@@ -72,7 +73,14 @@ class PacketLedger:
     @property
     def leaked(self) -> int:
         """Packets the counters cannot account for (must be zero)."""
-        return self.packets_in - self.delivered - self.refused - self.dropped - self.still_pending
+        return (
+            self.packets_in
+            - self.delivered
+            - self.emulated
+            - self.refused
+            - self.dropped
+            - self.still_pending
+        )
 
 
 @dataclass
@@ -144,6 +152,10 @@ class RecoveryReport:
             ["delivered", ledger.delivered],
             ["refused (ttl/stray)", ledger.refused],
         ]
+        if ledger.emulated:
+            # Only ladder-enabled runs carry this bucket; keep clone-always
+            # reports (and their goldens) free of dead rows.
+            rows.append(["emulated (ladder)", ledger.emulated])
         for cause, count in sorted(ledger.dropped_by_cause.items()):
             rows.append([f"dropped: {cause}", count])
         rows.append(["still pending", ledger.still_pending])
@@ -215,6 +227,7 @@ def packet_ledger(farm: Honeyfarm) -> PacketLedger:
         refused=counters.get("gateway.ttl_expired", 0) + counters.get("gateway.stray", 0),
         dropped_by_cause=dropped,
         still_pending=farm.gateway.pending_packet_count,
+        emulated=counters.get("gateway.emulated", 0),
     )
 
 

@@ -38,6 +38,8 @@ __all__ = [
     "subsystem_breakdown",
     "verdict_counts",
     "dispatch_latencies",
+    "handoff_latencies",
+    "ladder_summary",
     "format_event",
     "render_trace_summary",
 ]
@@ -157,6 +159,75 @@ def dispatch_latencies(
     return latencies
 
 
+def handoff_latencies(
+    events: Iterable[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Reconstruct per-address promotion-to-handoff latency.
+
+    Pairs each fidelity-ladder ``promotion`` event with the first
+    subsequent ``handoff`` event for the same address — the window in
+    which the attacker's flow rode the pending queue while the flash
+    clone came up. Promotions whose handoff never completed within the
+    trace (clone faulted, VM retired first) are omitted; the ``demotion``
+    events account for those.
+    """
+    promoted: Dict[str, Dict[str, Any]] = {}
+    latencies: List[Dict[str, Any]] = []
+    for event in events:
+        if event.get("sub") != "ladder":
+            continue
+        ip = event.get("ip")
+        if event.get("ev") == "promotion":
+            promoted.setdefault(ip, event)
+        elif event.get("ev") == "handoff" and ip in promoted:
+            start = promoted.pop(ip)
+            latencies.append({
+                "ip": ip,
+                "trigger": start.get("trigger", "?"),
+                "promoted_t": start["t"],
+                "handoff_t": event["t"],
+                "packets": event.get("packets", 0),
+                "latency": event["t"] - start["t"],
+            })
+    return latencies
+
+
+def ladder_summary(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate fidelity-ladder activity out of one trace.
+
+    Returns zeros/empties when the trace carries no ladder events (the
+    summary renderer uses that to omit the section entirely for
+    clone-always runs).
+    """
+    promotions_by_trigger: Dict[str, int] = {}
+    demotions = 0
+    abandoned = 0
+    handoffs = 0
+    replayed = 0
+    for event in events:
+        if event.get("sub") != "ladder":
+            continue
+        ev = event.get("ev")
+        if ev == "promotion":
+            trigger = event.get("trigger", "?")
+            promotions_by_trigger[trigger] = promotions_by_trigger.get(trigger, 0) + 1
+        elif ev == "handoff":
+            handoffs += 1
+            replayed += event.get("packets", 0)
+        elif ev == "demotion":
+            demotions += 1
+            if event.get("abandoned_handoff"):
+                abandoned += 1
+    return {
+        "promotions": sum(promotions_by_trigger.values()),
+        "promotions_by_trigger": dict(sorted(promotions_by_trigger.items())),
+        "handoffs": handoffs,
+        "packets_replayed": replayed,
+        "demotions": demotions,
+        "handoffs_abandoned": abandoned,
+    }
+
+
 def format_event(event: Dict[str, Any]) -> str:
     """One-line rendering of an event for the ``--tail`` view."""
     fields = " ".join(
@@ -229,6 +300,28 @@ def render_trace_summary(
                 ["max (ms)", f"{values[-1] * 1e3:.1f}"],
             ],
             title="Dispatch latency (first packet -> queue flush)",
+        ))
+
+    ladder = ladder_summary(events)
+    if ladder["promotions"] or ladder["demotions"]:
+        rows = [["promotions", ladder["promotions"]]]
+        for trigger, count in ladder["promotions_by_trigger"].items():
+            rows.append([f"  by trigger: {trigger}", count])
+        rows.extend([
+            ["handoffs completed", ladder["handoffs"]],
+            ["packets replayed", ladder["packets_replayed"]],
+            ["demotions", ladder["demotions"]],
+            ["handoffs abandoned", ladder["handoffs_abandoned"]],
+        ])
+        hand = handoff_latencies(events)
+        if hand:
+            values = sorted(item["latency"] for item in hand)
+            rows.append(["handoff latency p50 (ms)",
+                         f"{values[len(values) // 2] * 1e3:.1f}"])
+            rows.append(["handoff latency max (ms)",
+                         f"{values[-1] * 1e3:.1f}"])
+        sections.append(format_table(
+            ["metric", "value"], rows, title="Fidelity ladder",
         ))
 
     return "\n\n".join(sections)

@@ -6,41 +6,59 @@ amount of address space with canned protocol responses. It needs no VMs,
 no cloning, and no per-address memory — and it can never actually be
 *infected*, so it observes scans but captures no malware behaviour.
 
-The class mirrors the guest's reply logic closely enough that fidelity
-comparisons are apples-to-apples at the packet level; the difference is
-that exploits bounce off (``would_have_infected`` counts the missed
-captures) and no second-stage behaviour ever occurs.
+Replies come from the fidelity ladder's :func:`emulator_replies` — the
+same guest-parity reply function the emulator tier uses — and each dark
+address answers with the personality the farm config would assign it,
+via a :class:`PersonalityRegistry` plus an optional address→name lookup.
+That keeps fidelity comparisons apples-to-apples at the packet level:
+the difference from a farm is that exploits bounce off
+(``would_have_infected`` counts the missed captures) and no second-stage
+behaviour ever occurs.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
-from repro.net.addr import AddressSpaceInventory
-from repro.net.packet import (
-    ICMP_ECHO_REQUEST,
-    PROTO_TCP,
-    PROTO_UDP,
-    Packet,
-    TcpFlags,
-)
-from repro.services.personality import Personality
+from repro.fidelity.emulator import emulator_replies
+from repro.net.addr import AddressSpaceInventory, IPAddress
+from repro.net.packet import Packet
+from repro.services.personality import Personality, PersonalityRegistry
 from repro.services.vulnerabilities import EXPLOIT_PREFIX
 
 __all__ = ["StatelessResponder"]
 
 
 class StatelessResponder:
-    """Answers probes to a whole dark space with one personality's
-    canned responses, keeping no per-address state."""
+    """Answers probes to a whole dark space with per-address personality
+    responses, keeping no per-address state.
 
-    def __init__(self, inventory: AddressSpaceInventory, personality: Personality) -> None:
+    ``personality_for`` maps a dark address to a personality name (e.g.
+    ``config.personality_for_address`` partially applied); when omitted,
+    every address presents ``default_personality``.
+    """
+
+    def __init__(
+        self,
+        inventory: AddressSpaceInventory,
+        personalities: PersonalityRegistry,
+        personality_for: Optional[Callable[[IPAddress], str]] = None,
+        default_personality: str = "windows-default",
+    ) -> None:
         self.inventory = inventory
-        self.personality = personality
+        self.personalities = personalities
+        self.personality_for = personality_for
+        self.default_personality = default_personality
         self.packets_seen = 0
         self.replies_sent = 0
         self.would_have_infected = 0
         self.exploit_attempts_by_tag: Dict[str, int] = {}
+
+    def personality_at(self, addr: IPAddress) -> Personality:
+        """The personality impersonating one dark address."""
+        if self.personality_for is not None:
+            return self.personalities.get(self.personality_for(addr))
+        return self.personalities.get(self.default_personality)
 
     def handle_packet(self, packet: Packet) -> List[Packet]:
         """Reply to one probe; mirrors the guest's synchronous behaviour
@@ -53,42 +71,9 @@ class StatelessResponder:
                 self.exploit_attempts_by_tag.get(packet.payload, 0) + 1
             )
             self.would_have_infected += 1
-        reply = self._reply_for(packet)
-        if reply is None:
-            return []
-        self.replies_sent += 1
-        return [reply]
-
-    def _reply_for(self, packet: Packet) -> Optional[Packet]:
-        if packet.is_icmp:
-            if packet.icmp_type == ICMP_ECHO_REQUEST:
-                return packet.reply_template(size=packet.size)
-            return None
-        if packet.is_tcp:
-            service = self.personality.service_at(PROTO_TCP, packet.dst_port)
-            reply = packet.reply_template()
-            if packet.flags.is_syn:
-                reply.flags = (
-                    TcpFlags.SYN | TcpFlags.ACK
-                    if service is not None
-                    else TcpFlags.RST | TcpFlags.ACK
-                )
-                return reply
-            if service is not None and packet.payload and service.banner:
-                banner = packet.reply_template(payload=f"banner:{service.banner}")
-                banner.flags = TcpFlags.PSH | TcpFlags.ACK
-                return banner
-            return None
-        if packet.is_udp:
-            service = self.personality.service_at(PROTO_UDP, packet.dst_port)
-            if service is None:
-                unreachable = packet.reply_template()
-                unreachable.protocol = 1
-                unreachable.icmp_type = 3
-                return unreachable
-            if service.banner:
-                return packet.reply_template(payload=f"banner:{service.banner}")
-        return None
+        replies = emulator_replies(self.personality_at(packet.dst), packet)
+        self.replies_sent += len(replies)
+        return replies
 
     @property
     def capture_count(self) -> int:

@@ -20,9 +20,10 @@ before writing code against the API:
   trace file (``--filter subsystem=gateway``, ``--tail 20``).
 * ``potemkin conform`` — the differential conformance fuzzer: generate
   random scenarios from a root seed, run each through the world matrix
-  (delta / full-copy / sharing flip / alternate containment / responder
-  baseline), check every invariant oracle, and optionally shrink any
-  failure to a minimal JSON repro plus a paste-ready pytest case.
+  (delta / full-copy / sharing flip / alternate containment / fidelity
+  ladder / responder baseline), check every invariant oracle, and
+  optionally shrink any failure to a minimal JSON repro plus a
+  paste-ready pytest case.
 """
 
 from __future__ import annotations
@@ -179,6 +180,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.ladder:
+        # Shorthand for the fidelity-ladder lifecycle stream
+        # (promotion / handoff / demotion events).
+        filters.append(("sub", "ladder"))
 
     if args.input:
         # Inspect mode: analyse a previously recorded trace.
@@ -269,8 +274,8 @@ def _cmd_conform(args: argparse.Namespace) -> int:
     report = run_conformance(seed, runs, on_verdict=progress)
     elapsed = time.perf_counter() - started
     print(
-        f"\n{report.scenarios_run} scenarios x 5 worlds,"
-        f" {len(report.oracle_names)} oracles"
+        f"\n{report.scenarios_run} scenarios x {report.worlds_per_scenario}"
+        f" worlds, {len(report.oracle_names)} oracles"
         f" ({', '.join(report.oracle_names)}) in {elapsed:.1f}s"
     )
     if report.passed:
@@ -412,6 +417,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("--tail", type=int, default=0, metavar="N",
                        help="print the last N events follow-style")
+    trace.add_argument(
+        "--ladder", action="store_true",
+        help="keep only fidelity-ladder events (promotion/handoff/demotion);"
+        " shorthand for --filter subsystem=ladder",
+    )
     trace.add_argument("--smoke", action="store_true",
                        help="short CI drill (45s, crash at 25s)")
     trace.set_defaults(func=_cmd_trace)

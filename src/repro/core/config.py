@@ -13,7 +13,66 @@ from typing import Dict, Optional, Tuple
 
 from repro.net.addr import IPAddress, Prefix
 
-__all__ = ["HoneyfarmConfig"]
+__all__ = ["HoneyfarmConfig", "LadderConfig"]
+
+
+@dataclass(frozen=True)
+class LadderConfig:
+    """The fidelity ladder: emulator tier + dynamic promotion.
+
+    Attributes
+    ----------
+    enabled:
+        Attach the ladder to the gateway. Off by default: the stock farm
+        clones a VM for every cold address, exactly as before. ``False``
+        is also the *clone-always ablation* the fidelity benchmark
+        compares against.
+    promote_on_vuln_probe:
+        Promote a flow the instant its packet exploits a vulnerability
+        the address's personality actually has. Disabling this is an
+        ablation knob only — the emulator cannot be infected, so farms
+        running with it off will miss every infection the ladder absorbs.
+    promote_payload_bytes:
+        Promote once a single flow has carried this many payload bytes
+        (None disables the trigger).
+    promote_state_depth:
+        Promote once a single flow has reached this many application
+        exchanges (None disables the trigger).
+    max_handoff_packets:
+        Bound on the per-session replay buffer carried into a promoted
+        VM; the oldest absorbed packets are evicted first (0 disables
+        buffering — promotions then hand off no history).
+    """
+
+    enabled: bool = False
+    promote_on_vuln_probe: bool = True
+    promote_payload_bytes: Optional[int] = 512
+    promote_state_depth: Optional[int] = 8
+    max_handoff_packets: int = 64
+
+    def __post_init__(self) -> None:
+        if self.promote_payload_bytes is not None and self.promote_payload_bytes <= 0:
+            raise ValueError(
+                "promote_payload_bytes must be positive or None:"
+                f" {self.promote_payload_bytes!r}"
+            )
+        if self.promote_state_depth is not None and self.promote_state_depth <= 0:
+            raise ValueError(
+                "promote_state_depth must be positive or None:"
+                f" {self.promote_state_depth!r}"
+            )
+        if self.max_handoff_packets < 0:
+            raise ValueError(
+                f"max_handoff_packets must be >= 0: {self.max_handoff_packets!r}"
+            )
+        if self.enabled and not (
+            self.promote_on_vuln_probe
+            or self.promote_payload_bytes is not None
+            or self.promote_state_depth is not None
+        ):
+            raise ValueError(
+                "an enabled ladder needs at least one promotion trigger"
+            )
 
 
 @dataclass(frozen=True)
@@ -85,6 +144,10 @@ class HoneyfarmConfig:
         the addresses a crashed host was serving onto survivors.
     respawn_max_attempts:
         Give up re-spawning an address after this many failed attempts.
+    ladder:
+        Fidelity-ladder block (:class:`LadderConfig`): protocol-emulator
+        tier with dynamic promotion into flash clones. Disabled by
+        default, which doubles as the clone-always ablation.
     seed:
         Root seed for every random stream in the run.
     """
@@ -117,6 +180,7 @@ class HoneyfarmConfig:
     respawn_backoff_cap: float = 8.0
     respawn_backoff_jitter: float = 0.2
     respawn_max_attempts: int = 6
+    ladder: LadderConfig = field(default_factory=LadderConfig)
     seed: int = 1
 
     def __post_init__(self) -> None:

@@ -32,7 +32,7 @@ and the flow table maintains its own indexes — see ``docs/PERFORMANCE.md``.
 from __future__ import annotations
 
 import bisect
-from typing import Callable, Dict, List, Optional, Protocol, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Protocol, Tuple
 
 from repro.core.containment import (
     ContainmentAction,
@@ -51,6 +51,9 @@ from repro.sim.engine import Event, Simulator
 from repro.sim.metrics import MetricRegistry
 from repro.vmm.vm import VirtualMachine, VMState
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.fidelity.ladder import FidelityLadder
+
 __all__ = ["Gateway", "HoneyfarmBackend"]
 
 
@@ -63,6 +66,23 @@ class HoneyfarmBackend(Protocol):
 
     def deliver(self, vm: VirtualMachine, packet: Packet) -> None:
         """Hand an inbound packet to a running VM's guest."""
+
+    def deliver_replay(self, vm: VirtualMachine, packet: Packet) -> None:
+        """Hand a handoff-replay packet to a running VM's guest with
+        replies suppressed — the emulator tier already answered it."""
+
+
+class _EmulatedSource:
+    """Containment-policy stand-in for the emulator tier, where no VM
+    exists. Policies consult only ``ip`` (reflection's never-self check)
+    and ``vm_id`` (the rate limiter's bucket key); one bucket per
+    emulated address matches the one-VM-per-address clone world."""
+
+    __slots__ = ("ip", "vm_id")
+
+    def __init__(self, ip: IPAddress) -> None:
+        self.ip = ip
+        self.vm_id = f"emulated:{ip}"
 
 
 class Gateway:
@@ -95,6 +115,10 @@ class Gateway:
         self.max_pending_per_ip = max_pending_per_ip
         self.packet_tap = packet_tap
         self.pending_timeout = pending_timeout
+        # Fidelity ladder (attached by the farm when the ladder config
+        # block is enabled): consulted for cold addresses before a clone
+        # is dispatched, and handed the replay when the clone is ready.
+        self.ladder: Optional["FidelityLadder"] = None
         self.nat = ReflectionNat()
         self.vm_map: Dict[IPAddress, VirtualMachine] = {}
         # Packets held while a clone is in flight, each with the flow
@@ -138,6 +162,12 @@ class Gateway:
         self._c_external_out = handle("gateway.external_out")
         self._c_dns_malformed = handle("gateway.dns_malformed")
         self._c_dns_answered = handle("gateway.dns_answered")
+        # Fidelity-ladder buckets: packets fully served by the emulator
+        # tier (a first-class ledger bucket alongside delivered/refused/
+        # dropped) and the replies it sent on their behalf.
+        self._c_emulated = handle("gateway.emulated")
+        self._c_emulated_replies = handle("gateway.ladder_replies_out")
+        self._c_emulated_contained = handle("gateway.ladder_replies_contained")
         # Pending-queue drops, keyed by cause, so packet totals reconcile
         # exactly even through host crashes and clone failures:
         #   host_down    — the VM's host crashed mid-clone
@@ -227,6 +257,19 @@ class Gateway:
         record, created = self.flows.observe(packet, self.sim.now)
 
         vm = self.vm_map.get(packet.dst)
+        if vm is None and self.ladder is not None:
+            # Cold address with the fidelity ladder attached: let the
+            # emulator tier absorb the packet unless a trigger promotes
+            # the flow — in which case fall through, and this packet
+            # (never emulated) takes the normal clone-and-queue path.
+            verdict = self.ladder.consider(packet, self.sim.now)
+            if not verdict.promoted:
+                self._c_emulated.increment()
+                if _obs.ACTIVE is not None:
+                    self._trace_dispatch("emulated", packet)
+                for reply in verdict.replies:
+                    self._emit_emulated_reply(reply)
+                return
         if vm is None:
             vm = self.backend.spawn_vm(packet.dst)
             if vm is None:
@@ -356,6 +399,11 @@ class Gateway:
         (which would double-count the packet's flow statistics).
         """
         self._cancel_pending_timer(vm.ip)
+        if self.ladder is not None:
+            # Replay the emulated prefix of the conversation first, so
+            # the queued live packets land on a guest whose state already
+            # reflects everything the attacker has seen.
+            self._replay_handoff(vm)
         queued = self._pending.pop(vm.ip, [])
         recorder = _obs.ACTIVE
         for index, (packet, record) in enumerate(queued):
@@ -379,6 +427,26 @@ class Gateway:
                 )
             self.backend.deliver(vm, packet)
 
+    def _replay_handoff(self, vm: VirtualMachine) -> None:
+        """Replay a promotion's buffered packets into the fresh VM.
+
+        Replies are suppressed (``deliver_replay``): the emulator already
+        answered these packets byte-identically, so re-emitting would
+        duplicate what the attacker saw. The replay is accounted only
+        under ``ladder.handoff_packets_replayed`` — each packet was
+        already counted once, under ``gateway.emulated``, when absorbed.
+        """
+        handoff = self.ladder.take_handoff(vm.ip)
+        if handoff is None:
+            return
+        replayed = 0
+        for packet in handoff.buffered:
+            if vm.state is not VMState.RUNNING:
+                break
+            self.backend.deliver_replay(vm, packet)
+            replayed += 1
+        self.ladder.handoff_complete(handoff, replayed, vm.vm_id, self.sim.now)
+
     def vm_retired(self, vm: VirtualMachine, pending_cause: str = "vm_retired") -> None:
         """Drop all state bound to a reclaimed/detained/crashed VM.
 
@@ -392,6 +460,8 @@ class Gateway:
         self._drop_pending(vm.ip, pending_cause)
         self.flows.drop_vm(vm.vm_id)
         self.nat.forget_vm(vm.ip)
+        if self.ladder is not None:
+            self.ladder.vm_retired(vm.ip, pending_cause)
 
     # ------------------------------------------------------------------ #
     # Outbound path (honeypot -> anywhere)
@@ -475,6 +545,43 @@ class Gateway:
             self._c_reply_external.increment()
             self._send_external(packet)
 
+    def _emit_emulated_reply(self, packet: Packet) -> None:
+        """Route one emulator-tier reply exactly as a VM reply would be.
+
+        Classification mirrors :meth:`emit_from_vm` so the emulator tier
+        is policy-invisible: a reply riding the externally-initiated flow
+        is always allowed (NAT-translated back toward internal stand-ins,
+        shipped through the owning tunnel otherwise), while a
+        *flow-creating* emission — the ICMP unreachable answering a
+        closed-port UDP probe opens a fresh ICMP flow — faces the same
+        containment verdict the guest's identical packet would, else the
+        ladder world leaks packets that clone-always contains. Counted
+        under the ladder's own buckets so tier accounting stays distinct
+        from ``gateway.outbound.reply_allowed``."""
+        self._c_emulated_replies.increment()
+        record, created = self.flows.observe(packet, self.sim.now)
+        if created or record.initiator == packet.src:
+            verdict = self.policy.decide(
+                _EmulatedSource(packet.src), packet, self.sim.now
+            )
+            if verdict.action is ContainmentAction.REFLECT:
+                assert verdict.new_destination is not None
+                self._c_out_reflected.increment()
+                self.nat.record(packet.src, verdict.new_destination, packet.dst)
+                reflected = packet.with_destination(verdict.new_destination)
+                self.process_inbound(reflected.decremented_ttl())
+                return
+            if verdict.action is not ContainmentAction.ALLOW:
+                # DROP, or DNS redirection the emulator never initiates.
+                self._c_emulated_contained.increment()
+                return
+        if self.inventory.covers(packet.dst):
+            translated = self.nat.translate_reply_source(packet)
+            self.process_inbound(translated.decremented_ttl())
+        else:
+            self._c_reply_external.increment()
+            self._send_external(packet)
+
     def _send_external(self, packet: Packet) -> None:
         """Ship a permitted packet to the Internet through the tunnel that
         owns its (impersonated) source address."""
@@ -535,6 +642,8 @@ class Gateway:
 
     def sweep_flows(self) -> int:
         """Expire idle flows; returns how many were dropped."""
+        if self.ladder is not None:
+            self.ladder.sweep(self.sim.now)
         return len(self.flows.expire_idle(self.sim.now))
 
     def tunnel_links(self) -> Dict[int, Link]:

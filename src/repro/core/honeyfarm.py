@@ -36,6 +36,7 @@ from repro.core.reclamation import (
     ReclamationPlan,
 )
 from repro.faults.backoff import backoff_delay
+from repro.fidelity.ladder import FidelityLadder
 from repro.net.addr import AddressSpaceInventory, IPAddress
 from repro.net.packet import Packet
 from repro.obs import recorder as _obs
@@ -127,6 +128,22 @@ class Honeyfarm:
             metrics=self.metrics,
             pending_timeout=self.config.pending_timeout_seconds,
         )
+
+        # Fidelity ladder (emulator tier + promotion engine). Constructed
+        # only when the config block enables it, so the default farm is
+        # byte-identical to a clone-always farm.
+        if self.config.ladder.enabled:
+            self.ladder: Optional[FidelityLadder] = FidelityLadder(
+                sim=self.sim,
+                config=self.config,
+                registry=self.personalities,
+                inventory=self.inventory,
+                metrics=self.metrics,
+                session_idle_timeout=self.config.flow_idle_timeout_seconds,
+            )
+            self.gateway.ladder = self.ladder
+        else:
+            self.ladder = None
 
         idle_policy = IdleTimeoutPolicy(
             self.config.idle_timeout_seconds,
@@ -349,6 +366,22 @@ class Honeyfarm:
         replies = guest.handle_packet(packet, self.sim.now)
         for reply in replies:
             self.gateway.emit_from_vm(vm, reply)
+
+    def deliver_replay(self, vm: VirtualMachine, packet: Packet) -> None:
+        """Handoff replay: rebuild guest state, discard the replies.
+
+        The emulator tier already answered these packets byte-identically
+        (the parity the equivalence oracle proves), so re-emitting the
+        guest's replies would send the attacker duplicates. The guest
+        still sees every packet — connection state, infection checks, and
+        memory dirtying all happen exactly as on the live path.
+        """
+        guest: Optional[GuestHost] = vm.guest
+        if guest is None or vm.state is not VMState.RUNNING:
+            self.metrics.counter("farm.replay_to_dead_vm").increment()
+            return
+        self._propagate_generation(guest, packet)
+        guest.handle_packet(packet, self.sim.now)
 
     def _propagate_generation(self, guest: GuestHost, packet: Packet) -> None:
         """If the packet comes from another (infected) farm VM, stamp the

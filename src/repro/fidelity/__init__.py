@@ -1,0 +1,39 @@
+"""The fidelity ladder: emulator tier, promotion engine, state handoff.
+
+Potemkin binds a VM to an address only when a packet arrives; this
+package pushes late binding one rung further. Most telescope traffic
+never gets past a banner exchange, so the ladder answers cold-address
+packets from a lightweight protocol emulator (personality-faithful,
+SIPHON/Cowrie class) and *promotes* a flow to a real flash clone only
+when a pluggable trigger decides the conversation got interesting — a
+vulnerability probe, enough payload, enough protocol depth. A handoff
+record replays the emulated prefix of the conversation into the fresh
+VM so the attacker sees one continuous session.
+
+See ``docs/FIDELITY.md`` for the design and the ablation knobs.
+"""
+
+from repro.fidelity.emulator import EmulatedSession, FlowState, emulator_replies
+from repro.fidelity.handoff import HandoffRecord
+from repro.fidelity.ladder import FidelityLadder, LadderVerdict
+from repro.fidelity.triggers import (
+    PayloadBytesTrigger,
+    PromotionTrigger,
+    StateDepthTrigger,
+    VulnProbeTrigger,
+    default_triggers,
+)
+
+__all__ = [
+    "EmulatedSession",
+    "FidelityLadder",
+    "FlowState",
+    "HandoffRecord",
+    "LadderVerdict",
+    "PayloadBytesTrigger",
+    "PromotionTrigger",
+    "StateDepthTrigger",
+    "VulnProbeTrigger",
+    "default_triggers",
+    "emulator_replies",
+]

@@ -2,8 +2,8 @@
 
 This is the harness core: build the scenario's trace once, replay it
 through the whole world matrix (delta / sharing flip / full-copy /
-alternate containment / responder baseline), then hand the observation
-map to the oracle registry. A scenario *passes* when every oracle
+alternate containment / fidelity ladder / responder baseline), then hand
+the observation map to the oracle registry. A scenario *passes* when every oracle
 returns zero violations.
 
 ``run_conformance`` is the fuzzing entry point used by ``potemkin
@@ -80,6 +80,12 @@ class ConformanceReport:
     @property
     def scenarios_run(self) -> int:
         return len(self.verdicts)
+
+    @property
+    def worlds_per_scenario(self) -> int:
+        if not self.verdicts:
+            return 0
+        return max(len(v.world_summaries) for v in self.verdicts)
 
     def to_dict(self) -> Dict[str, Any]:
         return {

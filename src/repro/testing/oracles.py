@@ -258,6 +258,43 @@ class SharingEquivalenceOracle(Oracle):
         return violations
 
 
+class LadderEquivalenceOracle(Oracle):
+    """The fidelity ladder is guest-invisible: a promoted flow's replies
+    (and the farm's captured infections) match the clone-always world on
+    the same trace — the emulator tier answers byte-identically, and
+    every would-infect packet promotes before the emulator can touch it.
+
+    Gated like clone-equivalence, but tighter: only drop-all containment.
+    Reflection feeds emulated stand-ins and clone timing back into the
+    in-farm epidemic, and the ladder legitimately changes *when* clones
+    happen — under drop-all none of that timing is guest-visible.
+    """
+
+    name = "ladder-equivalence"
+
+    def check(self, scenario, observations, trace):
+        if not scenario.equivalence_eligible:
+            return []
+        if scenario.containment != "drop-all":
+            return []
+        ladder = observations.get("ladder")
+        delta = observations.get("delta")
+        if ladder is None or delta is None:
+            return []
+        if ladder.digest() == delta.digest():
+            return []
+        return [
+            self.violation(
+                "",
+                "ladder and clone-always worlds diverged in guest-visible "
+                "digest",
+                emulated=ladder.emulated,
+                promotions=ladder.counters.get("ladder.promotions", 0),
+                **_digest_diff(ladder, delta),
+            )
+        ]
+
+
 class ClockMonotoneOracle(Oracle):
     """The simulation clock never runs backwards and always reaches the
     requested end time; recorded series and flight-recorder events are
@@ -318,6 +355,11 @@ class TraceConsistencyOracle(Oracle):
                     "gateway.delivered",
                 ),
                 ("dispatch stray", verdicts.get("stray", 0), "gateway.stray"),
+                (
+                    "dispatch emulated",
+                    verdicts.get("emulated", 0),
+                    "gateway.emulated",
+                ),
                 (
                     "dispatch ttl_expired",
                     verdicts.get("ttl_expired", 0),
@@ -436,6 +478,7 @@ def default_registry() -> OracleRegistry:
     registry.register(ContainmentSafetyOracle())
     registry.register(CloneEquivalenceOracle())
     registry.register(SharingEquivalenceOracle())
+    registry.register(LadderEquivalenceOracle())
     registry.register(ClockMonotoneOracle())
     registry.register(TraceConsistencyOracle())
     registry.register(ResponderFidelityOracle())

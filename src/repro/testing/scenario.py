@@ -19,7 +19,7 @@ import json
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core.config import HoneyfarmConfig
+from repro.core.config import HoneyfarmConfig, LadderConfig
 from repro.faults.plan import FaultPlan, FaultSpec
 from repro.net.addr import IPAddress, Prefix
 from repro.sim.rand import RandomStream, SeedSequence
@@ -187,9 +187,11 @@ class Scenario:
         clone_mode: str = "flash",
         containment: Optional[str] = None,
         content_sharing: Optional[bool] = None,
+        ladder: bool = False,
     ) -> HoneyfarmConfig:
         """The farm configuration for one world of this scenario."""
         return HoneyfarmConfig(
+            ladder=LadderConfig(enabled=True) if ladder else LadderConfig(),
             prefixes=(self.prefix,),
             num_hosts=self.num_hosts,
             host_memory_bytes=self.host_memory_bytes,

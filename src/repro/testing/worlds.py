@@ -70,19 +70,21 @@ class WorldSpec:
     clone_mode: str = "flash"
     containment: Optional[str] = None
     content_sharing: Optional[bool] = None
+    ladder: bool = False
 
 
 def world_matrix(scenario: Scenario) -> List[WorldSpec]:
     """The default matrix: the scenario's primary delta world, its
     sharing flip, its full-copy ablation, one alternate containment
-    policy (so every run diffs >= 2 policies), and the responder
-    baseline."""
+    policy (so every run diffs >= 2 policies), the fidelity-ladder
+    variant, and the responder baseline."""
     alternate = "reflect" if scenario.containment == "drop-all" else "drop-all"
     return [
         WorldSpec("delta"),
         WorldSpec("sharing-flip", content_sharing=not scenario.content_sharing),
         WorldSpec("fullcopy", clone_mode="full-copy"),
         WorldSpec(f"alt-{alternate}", containment=alternate),
+        WorldSpec("ladder", ladder=True),
         WorldSpec("responder", kind="responder"),
     ]
 
@@ -121,6 +123,7 @@ class WorldObservation:
     dropped_by_cause: Dict[str, int] = field(default_factory=dict)
     still_pending: int = 0
     leaked: int = 0
+    emulated: int = 0
     # Responder-only tallies.
     packets_seen: int = 0
     replies_sent: int = 0
@@ -186,6 +189,7 @@ def _run_farm(
         clone_mode=spec.clone_mode,
         containment=spec.containment,
         content_sharing=spec.content_sharing,
+        ladder=spec.ladder,
     )
     farm = Honeyfarm(config)
     dns = farm.config.dns_address()
@@ -257,6 +261,7 @@ def _run_farm(
     obs.dropped_by_cause = dict(ledger.dropped_by_cause)
     obs.still_pending = ledger.still_pending
     obs.leaked = ledger.leaked
+    obs.emulated = ledger.emulated
     return obs
 
 
@@ -264,8 +269,14 @@ def _run_responder(
     scenario: Scenario, spec: WorldSpec, trace: List[TraceRecord]
 ) -> WorldObservation:
     inventory = AddressSpaceInventory([Prefix.parse(scenario.prefix)])
+    # Same per-address personality assignment as the farm worlds, so the
+    # responder is a fidelity baseline, not a different population.
+    config = scenario.farm_config()
+    prefix = Prefix.parse(scenario.prefix)
     responder = StatelessResponder(
-        inventory, default_registry().get("windows-default")
+        inventory,
+        default_registry(),
+        personality_for=lambda addr: config.personality_for_address(prefix, addr),
     )
     replies: List[PacketKey] = []
     for record in trace:

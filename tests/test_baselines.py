@@ -77,7 +77,7 @@ class TestStatelessResponder:
     @pytest.fixture
     def responder(self, registry):
         inventory = AddressSpaceInventory([Prefix.parse("10.16.0.0/24")])
-        return StatelessResponder(inventory, registry.get("windows-default"))
+        return StatelessResponder(inventory, registry)
 
     def test_answers_probes_like_a_guest(self, responder):
         syn = tcp_packet(ATTACKER, TARGET, 1, 445)
@@ -119,3 +119,41 @@ class TestStatelessResponder:
             )
         assert responder.packets_seen == 256
         assert responder.replies_sent == 256
+
+    def test_per_address_personalities(self, registry):
+        # With a personality_for lookup, each dark address answers with
+        # its own personality's surface — port 22 is open on the Linux
+        # half of the space and closed (RST) on the Windows half.
+        inventory = AddressSpaceInventory([Prefix.parse("10.16.0.0/24")])
+        responder = StatelessResponder(
+            inventory, registry,
+            personality_for=lambda addr: (
+                "linux-server" if addr.value % 2 else "windows-default"
+            ),
+        )
+        windows = responder.handle_packet(
+            tcp_packet(ATTACKER, IPAddress.parse("10.16.0.2"), 1, 22)
+        )
+        linux = responder.handle_packet(
+            tcp_packet(ATTACKER, IPAddress.parse("10.16.0.3"), 1, 22)
+        )
+        assert windows[0].flags & TcpFlags.RST
+        assert linux[0].flags.is_synack
+
+    def test_matches_farm_personality_assignment(self, registry):
+        # The mixed-population config hash drives the responder exactly
+        # as it drives the farm's spawn path.
+        config = CONFIG.with_overrides(
+            personality_mix={"windows-default": 0.5, "linux-server": 0.5}
+        )
+        prefix = Prefix.parse("10.16.0.0/24")
+        inventory = AddressSpaceInventory([prefix])
+        responder = StatelessResponder(
+            inventory, registry,
+            personality_for=lambda a: config.personality_for_address(prefix, a),
+        )
+        names = {
+            responder.personality_at(IPAddress.parse(f"10.16.0.{i}")).name
+            for i in range(64)
+        }
+        assert names == {"windows-default", "linux-server"}
