@@ -197,7 +197,9 @@ def ladder_summary(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
 
     Returns zeros/empties when the trace carries no ladder events (the
     summary renderer uses that to omit the section entirely for
-    clone-always runs).
+    clone-always runs). Every derived ratio guards its denominator: a
+    quiet run — zero promotions, zero handoffs — must summarize to
+    zeros, never raise.
     """
     promotions_by_trigger: Dict[str, int] = {}
     demotions = 0
@@ -223,8 +225,30 @@ def ladder_summary(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
         "promotions_by_trigger": dict(sorted(promotions_by_trigger.items())),
         "handoffs": handoffs,
         "packets_replayed": replayed,
+        "mean_replayed_per_handoff": replayed / handoffs if handoffs else 0.0,
         "demotions": demotions,
         "handoffs_abandoned": abandoned,
+    }
+
+
+def _latency_stats(values: List[float]) -> Optional[Dict[str, float]]:
+    """Mean/p50/p99/max over a latency list, or None when empty.
+
+    The single guard point for every latency denominator in the summary
+    renderer: a quiet trace (no clones completed, no handoffs) yields
+    None and the caller omits the section, instead of dividing by zero
+    or indexing an empty list.
+    """
+    if not values:
+        return None
+    ordered = sorted(values)
+    count = len(ordered)
+    return {
+        "count": count,
+        "mean": sum(ordered) / count,
+        "p50": ordered[count // 2],
+        "p99": ordered[min(count - 1, int(count * 0.99))],
+        "max": ordered[-1],
     }
 
 
@@ -283,21 +307,16 @@ def render_trace_summary(
             title="Gateway dispatch verdicts",
         ))
 
-    latencies = dispatch_latencies(events)
-    if latencies:
-        values = sorted(item["latency"] for item in latencies)
-        count = len(values)
-        mean = sum(values) / count
-        p50 = values[count // 2]
-        p99 = values[min(count - 1, int(count * 0.99))]
+    stats = _latency_stats([item["latency"] for item in dispatch_latencies(events)])
+    if stats is not None:
         sections.append(format_table(
             ["metric", "value"],
             [
-                ["addresses reconstructed", count],
-                ["mean (ms)", f"{mean * 1e3:.1f}"],
-                ["p50 (ms)", f"{p50 * 1e3:.1f}"],
-                ["p99 (ms)", f"{p99 * 1e3:.1f}"],
-                ["max (ms)", f"{values[-1] * 1e3:.1f}"],
+                ["addresses reconstructed", int(stats["count"])],
+                ["mean (ms)", f"{stats['mean'] * 1e3:.1f}"],
+                ["p50 (ms)", f"{stats['p50'] * 1e3:.1f}"],
+                ["p99 (ms)", f"{stats['p99'] * 1e3:.1f}"],
+                ["max (ms)", f"{stats['max'] * 1e3:.1f}"],
             ],
             title="Dispatch latency (first packet -> queue flush)",
         ))
@@ -310,16 +329,19 @@ def render_trace_summary(
         rows.extend([
             ["handoffs completed", ladder["handoffs"]],
             ["packets replayed", ladder["packets_replayed"]],
+            ["mean replayed per handoff",
+             f"{ladder['mean_replayed_per_handoff']:.1f}"],
             ["demotions", ladder["demotions"]],
             ["handoffs abandoned", ladder["handoffs_abandoned"]],
         ])
-        hand = handoff_latencies(events)
-        if hand:
-            values = sorted(item["latency"] for item in hand)
+        hand = _latency_stats([item["latency"] for item in handoff_latencies(events)])
+        if hand is not None:
+            rows.append(["handoff latency mean (ms)",
+                         f"{hand['mean'] * 1e3:.1f}"])
             rows.append(["handoff latency p50 (ms)",
-                         f"{values[len(values) // 2] * 1e3:.1f}"])
+                         f"{hand['p50'] * 1e3:.1f}"])
             rows.append(["handoff latency max (ms)",
-                         f"{values[-1] * 1e3:.1f}"])
+                         f"{hand['max'] * 1e3:.1f}"])
         sections.append(format_table(
             ["metric", "value"], rows, title="Fidelity ladder",
         ))

@@ -37,24 +37,49 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Protocol, Tupl
 from repro.core.containment import (
     ContainmentAction,
     ContainmentPolicy,
+    DropAllPolicy,
     OutboundRateLimiter,
     ReflectionNat,
 )
 from repro.net.addr import AddressSpaceInventory, IPAddress, Prefix
-from repro.net.flow import FlowRecord, FlowTable
+from repro.net.flow import FlowKey, FlowRecord, FlowTable
 from repro.net.gre import GrePacket, GreTunnel, decapsulate, encapsulate
 from repro.net.link import Link
-from repro.net.packet import Packet
+from repro.net.packet import PROTO_ICMP, Packet
 from repro.obs import recorder as _obs
 from repro.services.dns import DnsServer
 from repro.sim.engine import Event, Simulator
 from repro.sim.metrics import MetricRegistry
 from repro.vmm.vm import VirtualMachine, VMState
 
+try:  # numpy is optional: it only accelerates the span lane's aggregation
+    import numpy as _np
+except ImportError:  # pragma: no cover - per-packet span loop covers this
+    _np = None
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.fidelity.ladder import FidelityLadder
+    from repro.sim.batch import PacketColumns
 
 __all__ = ["Gateway", "HoneyfarmBackend"]
+
+
+def _parse_addr(text: str, _cls=IPAddress, _new=object.__new__, _set=object.__setattr__) -> IPAddress:
+    """Strict dotted-quad parse with :meth:`IPAddress.parse`'s exact
+    accept/reject set, unrolled for the span lane's once-per-address cost
+    (``parse``'s generic loop is ~2x slower and runs ~10^5 times per
+    large replay)."""
+    a, b, c, d = text.split(".")
+    if a.isdigit() and b.isdigit() and c.isdigit() and d.isdigit():
+        a = int(a)
+        b = int(b)
+        c = int(c)
+        d = int(d)
+        if a < 256 and b < 256 and c < 256 and d < 256:
+            addr = _new(_cls)
+            _set(addr, "value", a << 24 | b << 16 | c << 8 | d)
+            return addr
+    raise ValueError(f"malformed IPv4 address: {text!r}")
 
 
 class HoneyfarmBackend(Protocol):
@@ -136,6 +161,32 @@ class Gateway:
         self._tunnel_starts: List[int] = []
         self._tunnel_ends: List[int] = []
         self._tunnel_range_keys: List[int] = []
+
+        # Span-lane state (see dispatch_span): a persistent cache of
+        # resolved fast-path flows keyed by arrival 5-tuple, invalidated
+        # wholesale by bumping the epoch whenever anything outside the
+        # span lane mutates farm state an entry may depend on.
+        self._span_epoch = 0
+        self._span_cache: Dict[Tuple[str, int, str, int, int], list] = {}
+        self._span_classes: Dict[Tuple[int, int, int, int], Tuple] = {}
+        self._span_sup: Optional[Tuple[float, float]] = None
+        self._span_sup_for: Optional[object] = None
+        self._span_catalog = None
+        self._span_droppall = False
+        self._span_personality = None
+        self._span_session_cls = None
+        self._span_state_cls = None
+        # Vectorized-lane flow cache, keyed by the columns' integer
+        # arrival ids instead of 5-tuples (see PacketColumns.key_ids):
+        # a flat entry list plus numpy epoch/last-seen mirrors, rebuilt
+        # when a different columns object shows up.
+        self._span_cols = None
+        self._span_kid_entries: Optional[list] = None
+        self._span_kid_epoch = None
+        self._span_kid_last = None
+        self._span_kid_sid = None
+        self._span_sessions: Optional[list] = None
+        self._span_sess_gid: Optional[dict] = None
 
         # Counter handles, resolved once: per-packet increments are a
         # single attribute store, never a string-keyed registry lookup.
@@ -241,6 +292,10 @@ class Gateway:
 
     def process_inbound(self, packet: Packet) -> None:
         """Dispatch one packet addressed into the farm's dark space."""
+        # Any per-packet dispatch may mutate state a span-cache entry
+        # depends on (promote a session, spawn a VM, advance flow state):
+        # invalidate the span cache by epoch.
+        self._span_epoch += 1
         self._c_packets_in.increment()
         if self.packet_tap is not None:
             self.packet_tap(packet)
@@ -270,6 +325,709 @@ class Gateway:
                 for reply in verdict.replies:
                     self._emit_emulated_reply(reply)
                 return
+        self._dispatch_to_vm(packet, record, created, vm)
+
+    def dispatch_batch(
+        self, packets: List[Packet], start: int, end: int, now: float
+    ) -> None:
+        """Dispatch ``packets[start:end]`` (all sharing timestamp ``now``)
+        with per-packet Python overhead hoisted out of the loop.
+
+        Behaviourally identical to calling :meth:`process_inbound` on each
+        packet in order — same per-packet verdicts, ledger buckets, ladder
+        consultation, and containment classification — but the dominant
+        cold-address/emulated path is fused inline: the canonical flow key
+        is computed once per packet and threaded through the flow table,
+        the ladder session, and same-flow reply routing, and every
+        attribute lookup on the path is a preresolved local. Any packet
+        that leaves the fused path (VM exists, promotion, TTL/stray, or a
+        protocol-changing reply) falls back to the exact per-packet code.
+
+        Only the batched arrival stream calls this, and only when no
+        flight recorder is installed; with a recorder (or a packet tap)
+        the stream uses the faithful per-packet lane instead, so traces
+        stay bit-identical.
+        """
+        if self.packet_tap is not None or _obs.ACTIVE is not None:
+            process_inbound = self.process_inbound
+            for k in range(start, end):
+                process_inbound(packets[k])
+            return
+        self._span_epoch += 1  # same invalidation rule as process_inbound
+        # Hoisted hot-path locals (see docs/PERFORMANCE.md).
+        c_packets_in = self._c_packets_in
+        c_ttl_expired = self._c_ttl_expired
+        c_stray = self._c_stray
+        c_emulated = self._c_emulated
+        inventory_covers = self.inventory.covers
+        from_packet = FlowKey.from_packet
+        observe_keyed = self.flows.observe_keyed
+        vm_map_get = self.vm_map.get
+        ladder = self.ladder
+        consider = ladder.consider if ladder is not None else None
+        emit_reply_keyed = self._emit_emulated_reply_keyed
+        dispatch_to_vm = self._dispatch_to_vm
+        for k in range(start, end):
+            packet = packets[k]
+            c_packets_in.increment()
+            if packet.ttl <= 0:
+                c_ttl_expired.increment()
+                continue
+            if not inventory_covers(packet.dst):
+                c_stray.increment()
+                continue
+            key = from_packet(packet)
+            record, created = observe_keyed(key, packet, now)
+            vm = vm_map_get(packet.dst)
+            if vm is None and consider is not None:
+                verdict = consider(packet, now, key=key)
+                if not verdict.promoted:
+                    c_emulated.increment()
+                    for reply in verdict.replies:
+                        emit_reply_keyed(reply, key)
+                    continue
+            dispatch_to_vm(packet, record, created, vm)
+
+    # ------------------------------------------------------------------ #
+    # Span lane (multi-timestamp batched dispatch; see docs/PERFORMANCE.md)
+    # ------------------------------------------------------------------ #
+
+    def dispatch_span(self, columns: "PacketColumns", start: int, limit: int) -> int:
+        """Consume the longest prefix of ``columns[start:limit]`` that is
+        provably equivalent to per-event dispatch, without materializing
+        packets, and return how many arrivals were consumed.
+
+        The lane handles exactly the storm-dominant case: an emulator-tier
+        packet with an **empty payload** addressed to a cold covered
+        address from an external source, whose reply classification is
+        constant per ``(personality, protocol, dst_port, tcp_flags)``.
+        Everything per-packet is O(1) dict hits on a persistent cache;
+        flow/session/reply bookkeeping is applied with plain arithmetic
+        and counters are flushed in bulk at the end. Any packet outside
+        the proof (payload-carrying, VM-backed or promotable destination,
+        expired cache entry, unsupported trigger/policy/route
+        configuration) stops the span; the caller falls back to the exact
+        per-packet lanes for it. Returns 0 when the lane is unavailable.
+
+        Correctness rests on three invariants:
+
+        * nothing here schedules events or reads ``sim.now``, so the
+          caller's span bound (next heap event) stays valid throughout;
+        * every *other* dispatch path bumps ``_span_epoch``, so a cache
+          entry whose epoch matches cannot have been invalidated by a
+          promotion, VM spawn, sweep, or flow-state advance;
+        * bucket placement is deferred to ``FlowTable.expire_idle``'s
+          self-heal (records touched here keep their creation-time
+          bucket), which visits stale-bucketed records no later than
+          their expiry sweep — so expiry timing and counts match the
+          per-event arm exactly.
+        """
+        ladder = self.ladder
+        if (
+            ladder is None
+            or self.packet_tap is not None
+            or self.external_sink is not None
+            or self._tunnel_links
+        ):
+            return 0
+        support = self._span_support(ladder)
+        if support is None:
+            return 0
+
+        times = columns.times
+        if (
+            _np is not None
+            and limit - start >= 4
+            and times[limit - 1] - times[start] <= self.flows.idle_timeout
+        ):
+            # Vectorized aggregation: per-flow sums replace the per-packet
+            # loop. Valid only when the span's wall-clock extent cannot
+            # idle-expire a flow between two of its own packets (checked
+            # above); each flow's first touch still gets the exact
+            # liveness check below.
+            view = columns.numpy_view()
+            if view is not None:
+                return self._dispatch_span_np(columns, start, limit, ladder, view)
+
+        keys = columns.keys
+        payloads = columns.payloads
+        sizes = columns.sizes
+        cache = self._span_cache
+        cache_get = cache.get
+        resolve = self._span_resolve
+        epoch = self._span_epoch
+        idle_timeout = self.flows.idle_timeout
+        buffer_limit = ladder.ladder_config.max_handoff_packets
+        n_replies = n_contained = n_external = n_buffer_dropped = 0
+
+        i = start
+        while i < limit:
+            if payloads[i]:
+                break  # payload advances flow state / may promote: slow path
+            key = keys[i]
+            t = times[i]
+            entry = cache_get(key)
+            if entry is None or entry[4] != epoch:
+                entry = resolve(columns, i, key, t)
+                if entry is None:
+                    break
+                cache[key] = entry
+            record = entry[1]
+            if record._table is None or t - record.last_seen > idle_timeout:
+                break  # flow gone or idle-expired: per-event recreation path
+            kind = entry[0]
+            session = entry[3]
+            size = sizes[i]
+            record.last_seen = t
+            session.last_seen = t
+            session.packets_absorbed += 1
+            if buffer_limit > 0:
+                buffered = session.buffered
+                if len(buffered) >= buffer_limit:
+                    del buffered[0]
+                    session.buffer_dropped += 1
+                    n_buffer_dropped += 1
+                buffered.append((columns, i))  # lazy; materialized on promote
+            if kind == 1:  # fixed-size same-protocol reply (SYN/RST ack, banner)
+                record.packets += 2
+                record.bytes += size + entry[6]
+                banner = entry[7]
+                if banner is not None:
+                    session.banner = banner
+                n_replies += 1
+                if entry[9]:
+                    n_contained += 1
+                else:
+                    n_external += 1
+            elif kind == 0:  # silently absorbed, no reply
+                record.packets += 1
+                record.bytes += size
+            elif kind == 3:  # ICMP port-unreachable on its own flow, contained
+                record.packets += 1
+                record.bytes += size
+                icmp_record = entry[5]
+                icmp_record.last_seen = t
+                icmp_record.packets += 1
+                icmp_record.bytes += 56
+                n_replies += 1
+                n_contained += 1
+            else:  # kind == 2: ICMP echo reply mirroring the request size
+                record.packets += 2
+                record.bytes += size + size
+                n_replies += 1
+                if entry[9]:
+                    n_contained += 1
+                else:
+                    n_external += 1
+            i += 1
+
+        consumed = i - start
+        if consumed:
+            self._c_packets_in.increment(consumed)
+            self._c_emulated.increment(consumed)
+            if n_replies:
+                self._c_emulated_replies.increment(n_replies)
+            if n_contained:
+                self._c_emulated_contained.increment(n_contained)
+            if n_external:
+                self._c_reply_external.increment(n_external)
+                self._c_external_out.increment(n_external)
+            if n_buffer_dropped:
+                ladder._c_buffer_dropped.increment(n_buffer_dropped)
+        return consumed
+
+    def _dispatch_span_np(
+        self,
+        columns: "PacketColumns",
+        start: int,
+        limit: int,
+        ladder: "FidelityLadder",
+        view,
+    ) -> int:
+        """Vectorized body of :meth:`dispatch_span`.
+
+        Arrivals are pre-factorized to integer ids
+        (:meth:`PacketColumns.key_ids`), so the whole span reduces with
+        ``numpy.unique``: one Python pass visits each *flow* (not each
+        packet) in first-touch order to validate its cached entry —
+        epoch and liveness checks come vectorized off flat mirror
+        arrays — or resolve it; numpy then aggregates per-flow packet
+        counts, byte sums, and last-touch times in C, and two short
+        loops — one per flow, one per session — apply the sums to the
+        same records, sessions, and counters the per-packet loop would
+        have touched one arrival at a time.
+
+        Stopping at the first unresolvable arrival leaves exactly the
+        side effects the per-event arm would have accumulated up to that
+        packet: first occurrences are visited in arrival order, so at a
+        cut no flow first seen later has been touched. The caller has
+        already proven no flow can idle-expire *between* two of its own
+        in-span packets (span extent <= idle timeout), which is what
+        makes first-touch-only liveness checking exact.
+        """
+        np_ = _np
+        times_np, sizes_np, pay_np = view
+        seg_pay = pay_np[start:limit]
+        if seg_pay.any():
+            limit = start + int(seg_pay.argmax())
+            if limit <= start:
+                return 0
+        kids_np = columns.key_ids()
+        if self._span_cols is not columns:
+            # New columns object: rebuild the kid-indexed caches (ids are
+            # per-columns) and batch-parse its address strings.
+            n = columns.n
+            self._span_cols = columns
+            self._span_kid_entries = [None] * n
+            self._span_kid_epoch = np_.full(n, -1, dtype=np_.int64)
+            self._span_kid_last = np_.zeros(n, dtype=np_.float64)
+            self._span_kid_sid = np_.zeros(n, dtype=np_.intp)
+            self._span_sessions = []
+            self._span_sess_gid = {}
+        entry_by_kid = self._span_kid_entries
+        epoch_np = self._span_kid_epoch
+        last_np = self._span_kid_last
+        sid_by_kid = self._span_kid_sid
+        sessions_g = self._span_sessions
+        sess_gid = self._span_sess_gid
+
+        epoch = self._span_epoch
+        idle_timeout = self.flows.idle_timeout
+        seg = kids_np[start:limit]
+        times_seg = times_np[start:limit]
+        uniq, first_rel, inv = np_.unique(
+            seg, return_index=True, return_inverse=True
+        )
+        ok_l = (
+            (epoch_np[uniq] == epoch)
+            & (times_seg[first_rel] - last_np[uniq] <= idle_timeout)
+        ).tolist()
+        uniq_l = uniq.tolist()
+        first_l = first_rel.tolist()
+        nu = len(uniq_l)
+        entries: List = [None] * nu
+        cut_rel = limit - start
+        resolve = self._span_resolve
+        keys = columns.keys
+        times = columns.times
+        for pos in np_.argsort(first_rel).tolist():
+            kid = uniq_l[pos]
+            if ok_l[pos]:
+                e = entry_by_kid[kid]
+                if e[1]._table is not None:
+                    entries[pos] = e
+                    continue
+                # Record lazily expired under a live epoch: fall through
+                # and resolve afresh (live_record recreates it exactly as
+                # the per-event arm's observe would).
+            rel = first_l[pos]
+            j = start + rel
+            e = resolve(columns, j, keys[j], times[j])
+            if e is None:
+                cut_rel = rel
+                break
+            entries[pos] = entry_by_kid[kid] = e
+            epoch_np[kid] = epoch
+            last_np[kid] = e[1].last_seen
+            session = e[3]
+            gid = sess_gid.get(id(session))
+            if gid is None:
+                # sessions_g keeps every session alive, so id() stays
+                # unambiguous for the lifetime of this columns cache.
+                gid = sess_gid[id(session)] = len(sessions_g)
+                sessions_g.append(session)
+            sid_by_kid[kid] = gid
+        m = cut_rel
+        if m <= 0:
+            return 0
+        if m < limit - start:
+            # Conservative cut: first occurrences are visited in arrival
+            # order, so every flow in the kept prefix was validated above
+            # — re-factorizing it yields only cached entries.
+            seg = seg[:m]
+            times_seg = times_seg[:m]
+            uniq, first_rel, inv = np_.unique(
+                seg, return_index=True, return_inverse=True
+            )
+            uniq_l = uniq.tolist()
+            entries = [entry_by_kid[k] for k in uniq_l]
+        nf = len(uniq_l)
+
+        intp = np_.intp
+        arange = np_.arange(m, dtype=intp)
+        cnt_l = np_.bincount(inv, minlength=nf).tolist()
+        bsum_l = (
+            np_.bincount(inv, weights=sizes_np[start:start + m], minlength=nf)
+            .astype(np_.int64)
+            .tolist()
+        )
+        last_local = np_.zeros(nf, dtype=intp)
+        last_local[inv] = arange  # forward assignment: last write wins
+        t_last = times_seg[last_local]
+        t_last_l = t_last.tolist()
+        # Refresh the liveness mirror; max, because a sibling arrival key
+        # may already have pushed a shared record further.
+        last_np[uniq] = np_.maximum(last_np[uniq], t_last)
+
+        n_replies = n_contained = n_external = 0
+        for f in range(nf):
+            entry = entries[f]
+            kind = entry[0]
+            rec = entry[1]
+            c = cnt_l[f]
+            tl = t_last_l[f]
+            # max, not assignment: both directions of a conversation are
+            # distinct arrival keys sharing one record.
+            if tl > rec.last_seen:
+                rec.last_seen = tl
+            if kind == 1:  # fixed-size same-protocol reply
+                rec.packets += 2 * c
+                rec.bytes += bsum_l[f] + c * entry[6]
+                n_replies += c
+                if entry[9]:
+                    n_contained += c
+                else:
+                    n_external += c
+            elif kind == 0:  # silently absorbed
+                rec.packets += c
+                rec.bytes += bsum_l[f]
+            elif kind == 3:  # ICMP unreachable on its own flow, contained
+                rec.packets += c
+                rec.bytes += bsum_l[f]
+                ir = entry[5]
+                if tl > ir.last_seen:
+                    ir.last_seen = tl
+                ir.packets += c
+                ir.bytes += 56 * c
+                n_replies += c
+                n_contained += c
+            else:  # kind == 2: echo reply mirroring request size
+                rec.packets += 2 * c
+                rec.bytes += 2 * bsum_l[f]
+                n_replies += c
+                if entry[9]:
+                    n_contained += c
+                else:
+                    n_external += c
+
+        gsid = sid_by_kid[uniq]  # per-flow global session id
+        suniq, sinv = np_.unique(gsid, return_inverse=True)
+        ns = len(suniq)
+        sess_list = [sessions_g[g] for g in suniq.tolist()]
+        sid_np = sinv[inv]  # per-packet span-local session id
+        scnt = np_.bincount(sid_np, minlength=ns)
+        s_last = np_.zeros(ns, dtype=intp)
+        s_last[sid_np] = arange
+        s_tlast_l = times_seg[s_last].tolist()
+        scnt_l = scnt.tolist()
+        fban = [entry[7] is not None for entry in entries]
+        last_b_l = None
+        if True in fban:
+            bmask = np_.array(fban, dtype=np_.bool_)[inv]
+            bidx = bmask.nonzero()[0]
+            last_b = np_.full(ns, -1, dtype=intp)
+            last_b[sid_np[bidx]] = bidx
+            last_b_l = last_b.tolist()
+        buffer_limit = ladder.ladder_config.max_handoff_packets
+        pairs = None
+        if buffer_limit > 0:
+            # One flat list of lazy (columns, index) pairs in
+            # session-grouped arrival order; each session extends its
+            # replay buffer with a plain slice of it.
+            order_l = np_.argsort(sid_np, kind="stable").tolist()
+            bounds_l = scnt.cumsum().tolist()
+            pairs = [(columns, start + k) for k in order_l]
+        n_buffer_dropped = 0
+        lo = 0
+        for s in range(ns):
+            session = sess_list[s]
+            c = scnt_l[s]
+            tl = s_tlast_l[s]
+            if tl > session.last_seen:
+                session.last_seen = tl
+            session.packets_absorbed += c
+            if last_b_l is not None:
+                lb = last_b_l[s]
+                if lb >= 0:
+                    session.banner = entries[inv[lb]][7]
+            if pairs is not None:
+                hi = bounds_l[s]
+                buffered = session.buffered
+                # Per-arrival eviction (cap, pop-front, append) telescopes
+                # to: final = (old + new)[-cap:], dropped = overflow.
+                drop = len(buffered) + c - buffer_limit
+                if drop > 0:
+                    session.buffer_dropped += drop
+                    n_buffer_dropped += drop
+                    if c >= buffer_limit:
+                        del buffered[:]
+                        buffered.extend(pairs[hi - buffer_limit:hi])
+                        lo = hi
+                        continue
+                    del buffered[:drop]
+                if c == 1:
+                    buffered.append(pairs[lo])
+                else:
+                    buffered.extend(pairs[lo:hi])
+                lo = hi
+
+        self._c_packets_in.increment(m)
+        self._c_emulated.increment(m)
+        if n_replies:
+            self._c_emulated_replies.increment(n_replies)
+        if n_contained:
+            self._c_emulated_contained.increment(n_contained)
+        if n_external:
+            self._c_reply_external.increment(n_external)
+            self._c_external_out.increment(n_external)
+        if n_buffer_dropped:
+            ladder._c_buffer_dropped.increment(n_buffer_dropped)
+        return m
+
+    def _span_support(self, ladder: "FidelityLadder") -> Optional[Tuple[float, float]]:
+        """Whether the ladder's trigger stack is one the span lane can
+        evaluate without packets: vuln-probe triggers fold into the class
+        descriptor, payload/depth triggers into two thresholds (``inf``
+        when absent — empty-payload packets never advance either counter,
+        so a below-threshold flow stays below for the whole span).
+        Returns ``(payload_bytes, state_depth)`` thresholds, or None."""
+        if self._span_sup_for is ladder:
+            return self._span_sup
+        # Function-local imports: repro.fidelity pulls in repro.core at
+        # package-import time, so a module-level import here would cycle.
+        from repro.fidelity.emulator import EmulatedSession, FlowState
+        from repro.fidelity.triggers import (
+            PayloadBytesTrigger,
+            StateDepthTrigger,
+            VulnProbeTrigger,
+        )
+
+        self._span_session_cls = EmulatedSession
+        self._span_state_cls = FlowState
+
+        inf = float("inf")
+        byte_threshold = depth_threshold = inf
+        catalog = None
+        supported = True
+        for trigger in ladder.triggers:
+            kind = type(trigger)
+            if kind is VulnProbeTrigger:
+                catalog = trigger.catalog
+            elif kind is PayloadBytesTrigger:
+                byte_threshold = min(byte_threshold, trigger.threshold)
+            elif kind is StateDepthTrigger:
+                depth_threshold = min(depth_threshold, trigger.threshold)
+            else:  # custom trigger: only the real per-packet path is safe
+                supported = False
+                break
+        self._span_sup_for = ladder
+        self._span_cache = {}
+        self._span_classes = {}
+        if supported:
+            self._span_catalog = catalog
+            self._span_droppall = type(self.policy) is DropAllPolicy
+            self._span_sup = (byte_threshold, depth_threshold)
+            # Single-prefix farm without a personality mix: every cold
+            # address resolves to one personality, so hoist the
+            # prefix-lookup + registry chain out of the per-flow path.
+            self._span_personality = None
+            if ladder.config.personality_mix is None:
+                prefixes = list(ladder.inventory.prefixes)
+                if len(prefixes) == 1:
+                    self._span_personality = ladder.registry.get(
+                        ladder.config.personality_for(prefixes[0])
+                    )
+        else:
+            self._span_sup = None
+        return self._span_sup
+
+    def _span_classify(self, columns: "PacketColumns", i: int, personality) -> Tuple:
+        """Class descriptor ``(kind, reply_size, banner)`` for every
+        empty-payload packet sharing arrival ``i``'s ``(personality,
+        protocol, dst_port, tcp_flags)``: the emulator's reply (and the
+        vuln catalog's verdict) depends only on those fields once the
+        payload is empty. ``kind < 0`` means the class must take the slow
+        path (promotes, multi-reply, or an unmodelled containment case)."""
+        from repro.fidelity.emulator import emulator_replies
+
+        packet = columns.packet_at(i)
+        slow = (-1, 0, None)
+        catalog = self._span_catalog
+        if catalog is not None:
+            vuln = catalog.match(packet)
+            if vuln is not None and vuln.name in personality.vulnerability_names:
+                return slow  # would promote: per-packet path handles it
+        replies = emulator_replies(personality, packet)
+        if not replies:
+            return (0, 0, None)
+        if len(replies) != 1:
+            return slow
+        reply = replies[0]
+        if reply.protocol != packet.protocol:
+            # Protocol-changing reply (ICMP unreachable): it opens its own
+            # flow and faces the containment policy. Only exact drop-all
+            # is modelled as a counter; anything else goes per-packet.
+            if (
+                not self._span_droppall
+                or reply.protocol != PROTO_ICMP
+                or reply.size != 56
+            ):
+                return slow
+            return (3, 56, None)
+        if packet.protocol == PROTO_ICMP:
+            return (2, 0, None)  # echo reply: size mirrors the request
+        payload = reply.payload
+        banner = payload[7:] if payload.startswith("banner:") else None
+        return (1, reply.size, banner)
+
+    def _span_resolve(self, columns: "PacketColumns", i: int, key, t: float):
+        """Build (or rebuild) the span-cache entry for arrival ``key`` —
+        the once-per-flow slow half of the span lane. The caller owns the
+        cache store (tuple dict for the per-packet loop, kid arrays for
+        the vectorized lane); re-resolving is idempotent either way.
+
+        Ordering is load-bearing: every bail-out that sends the packet to
+        the per-packet path happens **before** any flow-record mutation,
+        so the slow path sees exactly the state the per-event arm would
+        have (in particular its ``created`` flag for overflow rollback).
+        Pre-creating the *session* and *flow state* is safe either way:
+        the per-event path would create identical objects at the same
+        timestamp, and the creation counters are incremented exactly once,
+        here."""
+        ladder = self.ladder
+        addr_cache = columns.addr_cache
+        src_s, src_port, dst_s, dst_port, protocol = key
+        dst_addr = addr_cache.get(dst_s)
+        src_addr = addr_cache.get(src_s)
+        try:
+            if dst_addr is None:
+                dst_addr = addr_cache[dst_s] = _parse_addr(dst_s)
+            if src_addr is None:
+                src_addr = addr_cache[src_s] = _parse_addr(src_s)
+        except ValueError:
+            return None  # malformed address: per-event parse raises properly
+        inventory = self.inventory
+        starts = inventory._starts
+        if len(starts) == 1:  # single-prefix farm: hoist covers() to a compare
+            lo = starts[0]
+            hi = inventory._ends[0]
+            if not lo <= dst_addr.value <= hi or lo <= src_addr.value <= hi:
+                return None  # stray, or an internal source: slow path
+        elif not inventory.covers(dst_addr) or inventory.covers(src_addr):
+            return None
+        vm_map = self.vm_map
+        if vm_map and vm_map.get(dst_addr) is not None:
+            return None  # VM-backed address: clone/deliver path
+        session = ladder.sessions.get(dst_addr)
+        if session is not None:
+            personality = session.personality
+        else:
+            personality = self._span_personality
+            if personality is None:
+                prefix = ladder.inventory.lookup(dst_addr)
+                personality = ladder.registry.get(
+                    ladder.config.personality_for_address(prefix, dst_addr)
+                )
+        class_key = (id(personality), protocol, dst_port, columns.records[i].tcp_flags)
+        cls = self._span_classes.get(class_key)
+        if cls is None:
+            cls = self._span_classes[class_key] = self._span_classify(
+                columns, i, personality
+            )
+        kind = cls[0]
+        if kind < 0:
+            return None
+        # Canonical flow key: exactly FlowKey.from_packet's ordering,
+        # spelled with scalar compares.
+        sv = src_addr.value
+        dv = dst_addr.value
+        if sv < dv or (sv == dv and src_port <= dst_port):
+            flow_key = FlowKey(src_addr, src_port, dst_addr, dst_port, protocol)
+        else:
+            flow_key = FlowKey(dst_addr, dst_port, src_addr, src_port, protocol)
+        state = session.flows.get(flow_key) if session is not None else None
+        if state is not None:
+            byte_threshold, depth_threshold = self._span_sup
+            if (
+                state.payload_bytes >= byte_threshold
+                or state.exchanges >= depth_threshold
+            ):
+                return None  # next packet promotes: per-packet path
+        flows = self.flows
+        record = flows.live_record(flow_key, t)
+        contained = False
+        if record is None:
+            record = flows.create(flow_key, src_addr, t)
+        elif kind in (1, 2) and record.initiator.value == dv:
+            # The reply rides a flow the farm side initiated: per-event
+            # routing consults the policy. Drop-all (the only policy this
+            # lane supports beyond reply routing) contains it.
+            if not self._span_droppall:
+                return None
+            contained = True
+        if session is None:
+            # Field-by-field EmulatedSession.__init__, sans the call: this
+            # is the hottest allocation in a cold-storm span.
+            session = object.__new__(self._span_session_cls)
+            session.personality = personality
+            session.created_at = t
+            session.last_seen = t
+            session.flows = {}
+            session.buffered = []
+            session.buffer_dropped = 0
+            session.banner = None
+            session.packets_absorbed = 0
+            session.payload_bytes_total = 0
+            ladder.sessions[dst_addr] = session
+            ladder._c_sessions_started.value += 1  # Counter.increment, sans call
+            if t < ladder._session_floor:
+                ladder._session_floor = t
+        if state is None:
+            state = object.__new__(self._span_state_cls)
+            state.exchanges = 0
+            state.payload_bytes = 0
+            session.flows[flow_key] = state
+            ladder._c_flows_seen.value += 1
+        icmp_record = None
+        if kind == 3:
+            # The unreachable's flow: same endpoints, ICMP. Same canonical
+            # ordering as the inbound key (identical endpoint pairs).
+            icmp_key = FlowKey(
+                flow_key.addr_low,
+                flow_key.port_low,
+                flow_key.addr_high,
+                flow_key.port_high,
+                PROTO_ICMP,
+            )
+            icmp_record = flows.live_record(icmp_key, t)
+            if icmp_record is None:
+                icmp_record = flows.create(icmp_key, dst_addr, t)
+            elif icmp_record.initiator.value != dv:
+                return None  # externally-initiated ICMP flow: reply routes out
+        entry = [
+            kind,           # 0: per-class reply shape
+            record,         # 1: the conversation's flow record
+            state,          # 2: ladder flow state (threshold-checked above)
+            session,        # 3: the emulated session
+            self._span_epoch,  # 4: validity epoch
+            icmp_record,    # 5: kind-3 reply flow record
+            cls[1],         # 6: fixed reply size (kind 1)
+            cls[2],         # 7: banner payload, if any
+            dst_addr,       # 8: parsed destination
+            contained,      # 9: reply faces (and loses to) drop-all policy
+        ]
+        return entry
+
+    def _dispatch_to_vm(
+        self,
+        packet: Packet,
+        record: FlowRecord,
+        created: bool,
+        vm: Optional[VirtualMachine],
+    ) -> None:
+        """The clone/queue/deliver tail shared by the per-packet and
+        batched inbound paths (the packet has been flow-accounted and was
+        not absorbed by the emulator tier)."""
         if vm is None:
             vm = self.backend.spawn_vm(packet.dst)
             if vm is None:
@@ -560,6 +1318,24 @@ class Gateway:
         from ``gateway.outbound.reply_allowed``."""
         self._c_emulated_replies.increment()
         record, created = self.flows.observe(packet, self.sim.now)
+        self._route_emulated_reply(packet, record, created)
+
+    def _emit_emulated_reply_keyed(self, packet: Packet, inbound_key: FlowKey) -> None:
+        """:meth:`_emit_emulated_reply` for the batched lane: a reply that
+        keeps the inbound packet's protocol mirrors its canonical flow key
+        exactly (the key is direction-independent), so the inbound key is
+        reused; a protocol-changing reply (the ICMP unreachable answering
+        a UDP probe) opens a different flow and takes the generic path."""
+        if packet.protocol != inbound_key.protocol:
+            self._emit_emulated_reply(packet)
+            return
+        self._c_emulated_replies.increment()
+        record, created = self.flows.observe_keyed(inbound_key, packet, self.sim.now)
+        self._route_emulated_reply(packet, record, created)
+
+    def _route_emulated_reply(
+        self, packet: Packet, record: FlowRecord, created: bool
+    ) -> None:
         if created or record.initiator == packet.src:
             verdict = self.policy.decide(
                 _EmulatedSource(packet.src), packet, self.sim.now
@@ -643,7 +1419,11 @@ class Gateway:
     def sweep_flows(self) -> int:
         """Expire idle flows; returns how many were dropped."""
         if self.ladder is not None:
-            self.ladder.sweep(self.sim.now)
+            if self.ladder.sweep(self.sim.now):
+                # Sessions died: span-cache entries hold session refs.
+                # (Expired flow *records* need no epoch — the span lane
+                # re-checks record liveness on every touch.)
+                self._span_epoch += 1
         return len(self.flows.expire_idle(self.sim.now))
 
     def tunnel_links(self) -> Dict[int, Link]:

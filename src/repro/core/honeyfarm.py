@@ -43,6 +43,7 @@ from repro.obs import recorder as _obs
 from repro.services.dns import DnsServer
 from repro.services.guest import GuestHost, InfectionRecord, ScanBehavior
 from repro.services.personality import PersonalityRegistry, default_registry
+from repro.sim.batch import PacketArrivalStream, PacketColumns
 from repro.sim.engine import Simulator
 from repro.sim.metrics import MetricRegistry
 from repro.sim.rand import SeedSequence
@@ -207,6 +208,54 @@ class Honeyfarm:
     def inject(self, packet: Packet) -> None:
         """Feed one packet into the gateway, as if it arrived by tunnel."""
         self.gateway.process_inbound(packet)
+
+    def inject_batch(
+        self, packets: List[Packet], start: int, end: int, now: float
+    ) -> None:
+        """Batched counterpart of :meth:`inject` for same-timestamp runs
+        (see :meth:`~repro.core.gateway.Gateway.dispatch_batch`)."""
+        self.gateway.dispatch_batch(packets, start, end, now)
+
+    def attach_arrivals(
+        self, times: List[float], packets: List[Packet]
+    ) -> PacketArrivalStream:
+        """Stream a pre-sorted packet workload into this farm's run loop.
+
+        The batched equivalent of scheduling one injection event per
+        packet: firing order (and therefore every verdict, counter, and
+        trace event) is bit-identical, but arrivals never touch the event
+        heap — see ``docs/PERFORMANCE.md``.
+        """
+        stream = PacketArrivalStream(
+            self.sim,
+            times,
+            packets,
+            deliver=self.inject,
+            deliver_batch=self.inject_batch,
+        )
+        self.sim.attach_stream(stream)
+        return stream
+
+    def attach_arrival_columns(self, columns: PacketColumns) -> PacketArrivalStream:
+        """:meth:`attach_arrivals` over a lazy struct-of-arrays trace.
+
+        Packets are materialized only when they leave the gateway's span
+        lane (:meth:`~repro.core.gateway.Gateway.dispatch_span`); the
+        storm-dominant emulator-tier path runs entirely on the columns.
+        Results are bit-identical to per-event replay of the same records
+        — see ``docs/PERFORMANCE.md``.
+        """
+        stream = PacketArrivalStream(
+            self.sim,
+            columns.times,
+            columns.packets,
+            deliver=self.inject,
+            deliver_batch=self.inject_batch,
+            columns=columns,
+            deliver_span=self.gateway.dispatch_span,
+        )
+        self.sim.attach_stream(stream)
+        return stream
 
     def register_worm(self, behavior: ScanBehavior) -> None:
         """Teach guests how a worm propagates once it compromises them."""

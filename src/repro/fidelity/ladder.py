@@ -26,6 +26,7 @@ from repro.fidelity.emulator import EmulatedSession
 from repro.fidelity.handoff import HandoffRecord
 from repro.fidelity.triggers import default_triggers
 from repro.net.addr import AddressSpaceInventory, IPAddress
+from repro.net.flow import FlowKey
 from repro.net.packet import Packet
 from repro.obs import recorder as _obs
 from repro.services.personality import PersonalityRegistry
@@ -66,6 +67,11 @@ class FidelityLadder:
         self.triggers = default_triggers(self.ladder_config, registry.catalog)
         self.sessions: Dict[IPAddress, EmulatedSession] = {}
         self.handoffs: Dict[IPAddress, HandoffRecord] = {}
+        # Provable lower bound on min(session.last_seen) over live
+        # sessions: lets sweep() skip its full scan whenever nothing can
+        # possibly have expired. Sound because last_seen only increases
+        # and session creators push the floor down to their timestamp.
+        self._session_floor = float("inf")
         handle = self.metrics.handle
         self._c_sessions_started = handle("ladder.sessions_started")
         self._c_sessions_expired = handle("ladder.sessions_expired")
@@ -86,12 +92,17 @@ class FidelityLadder:
     # Per-packet path (called by the gateway for cold addresses)
     # ------------------------------------------------------------------ #
 
-    def consider(self, packet: Packet, now: float) -> LadderVerdict:
-        """Absorb ``packet`` into the emulator tier, or promote its flow."""
+    def consider(
+        self, packet: Packet, now: float, key: Optional["FlowKey"] = None
+    ) -> LadderVerdict:
+        """Absorb ``packet`` into the emulator tier, or promote its flow.
+
+        ``key`` is the packet's canonical flow key when the caller (the
+        gateway's batched lane) has already computed it."""
         session = self.sessions.get(packet.dst)
         if session is None:
             session = self._open_session(packet.dst, now)
-        state, flow_created = session.note(packet, now)
+        state, flow_created = session.note(packet, now, key=key)
         if flow_created:
             self._c_flows_seen.increment()
         for trigger in self.triggers:
@@ -110,6 +121,8 @@ class FidelityLadder:
         session = EmulatedSession(personality, now)
         self.sessions[ip] = session
         self._c_sessions_started.increment()
+        if now < self._session_floor:
+            self._session_floor = now
         return session
 
     def _buffer(self, session: EmulatedSession, packet: Packet) -> None:
@@ -136,7 +149,14 @@ class FidelityLadder:
             ip=ip,
             created_at=now,
             trigger=trigger,
-            buffered=list(session.buffered),
+            # The gateway's span lane buffers lazy (columns, index) pairs
+            # instead of packets; materialize them here — the one choke
+            # point every promotion passes through — so handoff replay
+            # (and everything downstream) only ever sees real packets.
+            buffered=[
+                p if p.__class__ is Packet else p[0].packet_at(p[1])
+                for p in session.buffered
+            ],
             flows=len(session.flows),
             payload_bytes=session.payload_bytes_total,
             banner=session.banner,
@@ -198,12 +218,23 @@ class FidelityLadder:
 
     def sweep(self, now: float) -> int:
         """Expire emulated sessions idle past the session timeout
-        (piggybacks on the gateway's flow sweep)."""
-        expired = [
-            ip
-            for ip, session in self.sessions.items()
-            if now - session.last_seen > self.session_idle_timeout
-        ]
+        (piggybacks on the gateway's flow sweep).
+
+        O(1) when the floor proves no session can have expired (the
+        common case between bursts); otherwise one scan that also
+        recomputes the exact floor."""
+        timeout = self.session_idle_timeout
+        if now - self._session_floor <= timeout:
+            return 0
+        expired = []
+        floor = float("inf")
+        for ip, session in self.sessions.items():
+            last_seen = session.last_seen
+            if now - last_seen > timeout:
+                expired.append(ip)
+            elif last_seen < floor:
+                floor = last_seen
+        self._session_floor = floor
         for ip in expired:
             del self.sessions[ip]
         if expired:

@@ -271,7 +271,18 @@ class FlowTable:
 
     def observe(self, packet: Packet, now: float) -> Tuple[FlowRecord, bool]:
         """Account ``packet``; returns ``(record, is_new_flow)``."""
-        key = FlowKey.from_packet(packet)
+        return self.observe_keyed(FlowKey.from_packet(packet), packet, now)
+
+    def observe_keyed(
+        self, key: FlowKey, packet: Packet, now: float
+    ) -> Tuple[FlowRecord, bool]:
+        """:meth:`observe` with the canonical key already in hand.
+
+        The gateway's batched lane computes each packet's key exactly once
+        and threads it through the flow table, the fidelity ladder, and
+        same-flow reply routing — key construction (two tuple hashes) is
+        otherwise the single largest per-packet allocation.
+        """
         record = self._flows.get(key)
         if record is not None and now - record.last_seen > self.idle_timeout:
             self._remove(record)
@@ -290,6 +301,51 @@ class FlowTable:
         record.touch(packet, now)
         self._place_in_bucket(record, now)
         return record, created
+
+    def live_record(self, key: FlowKey, now: float) -> Optional[FlowRecord]:
+        """The record under ``key`` if it is still live at ``now``.
+
+        Applies exactly :meth:`observe_keyed`'s lazy-expiry rule (strict
+        ``now - last_seen > idle_timeout``, counted in ``expired_total``)
+        without touching the record — the gateway's span lane reads the
+        table through this so its expiry accounting stays bit-identical
+        to the per-event path's.
+        """
+        record = self._flows.get(key)
+        if record is not None and now - record.last_seen > self.idle_timeout:
+            self._remove(record)
+            self.expired_total += 1
+            return None
+        return record
+
+    def create(self, key: FlowKey, initiator: IPAddress, now: float) -> FlowRecord:
+        """Register a brand-new flow record (no packet accounted yet).
+
+        Mirrors the creation half of :meth:`observe_keyed`: the record is
+        indexed and bucketed at ``now`` but carries zero packets/bytes —
+        the span lane applies per-packet touch arithmetic itself. The
+        record is built field-by-field and bucketed inline: this runs
+        once per unique flow of a batched replay, where constructor and
+        method-call overhead dominates.
+        """
+        record = FlowRecord.__new__(FlowRecord)
+        record.key = key
+        record.first_seen = now
+        record.last_seen = now
+        record.initiator = initiator
+        record.packets = 0
+        record.bytes = 0
+        record.tunnel_key = None
+        record._vm_id = None
+        record._table = self
+        bucket = int(now / self._granularity)
+        record._bucket = bucket
+        slot = self._buckets.get(bucket)
+        if slot is None:
+            slot = self._buckets[bucket] = {}
+        slot[key] = record
+        self._flows[key] = record
+        return record
 
     # ------------------------------------------------------------------ #
     # Sweeps and reclamation

@@ -1,0 +1,427 @@
+"""Struct-of-arrays arrival batching for the simulator hot loop.
+
+Replaying a telescope trace used to mean one heap entry, one ``Event``
+object, and one full dispatch-loop pass per packet — the per-event Python
+overhead, not the gateway, was the end-to-end bottleneck (ROADMAP item 2).
+:class:`PacketArrivalStream` removes it: arrivals live in two preallocated
+parallel arrays (timestamps and prebuilt :class:`~repro.net.packet.Packet`
+objects — a struct-of-arrays layout, so no per-arrival container is ever
+allocated), the stream reserves a contiguous block of tie-break sequence
+numbers at attach time, and :meth:`Simulator.run` merges it against the
+event heap by ``(time, seq)``.
+
+Ordering contract (what makes batching a *pure mechanical transform*):
+
+* Item ``i`` carries key ``(times[i], base_seq + i)``. Reserving the seq
+  block at attach time gives every arrival a lower seq than any event
+  scheduled afterwards — identical to what per-event ``schedule_at``
+  calls made at the same moment would have held.
+* A *batch* is a maximal run of equal timestamps. Within a batch no heap
+  check is needed: events scheduled by a dispatched packet's callbacks
+  land at ``time >= now`` with a seq above the whole reservation, so they
+  cannot outrank any remaining arrival at the same timestamp. Between
+  batches the stream re-checks the heap head (and the best key of any
+  *other* attached stream) so interleaved events fire in exact
+  ``(time, seq)`` order.
+* Flow-table expiry keeps per-event boundary semantics for free: sweeps
+  are ordinary heap events, and a sweep scheduled at the batch timestamp
+  was necessarily scheduled *before* the stream attached (lower seq) or
+  *after* (higher seq) — the merge fires it in exactly the slot the
+  per-event loop would have.
+
+When numpy is importable, batch boundaries come from ``searchsorted``
+over a prebuilt float64 view of the timestamps; otherwise a pure-Python
+walk finds the same boundary. Timestamps handed to the simulator are
+always the original Python floats, so nothing downstream ever sees a
+numpy scalar.
+
+Dispatch has three lanes, chosen per batch (fastest first):
+
+* **span lane** — lazy struct-of-arrays only (:class:`PacketColumns`
+  attached) and no flight recorder: a whole *multi-timestamp* run of
+  arrivals, bounded by the next heap event / ``until`` / budget via
+  binary search, goes to ``deliver_span(columns, start, limit)``
+  (normally :meth:`~repro.core.gateway.Gateway.dispatch_span`), which
+  processes the prefix it can prove equivalent to per-event dispatch
+  without ever materializing a :class:`~repro.net.packet.Packet` and
+  returns how many it consumed. Whatever it declines falls through to
+  the batch lane below, so progress is always made.
+* **fast lane** — no flight recorder installed: one equal-timestamp
+  batch goes to ``deliver_batch(packets, start, end, now)`` (normally
+  :meth:`~repro.core.gateway.Gateway.dispatch_batch`), which preserves
+  per-packet verdicts, ledger buckets, ladder consultation, and
+  containment classification while hoisting the per-packet Python
+  overhead out of the loop.
+* **faithful lane** — recorder installed (or no batch entry point):
+  each packet goes through the per-packet ``deliver`` callable wrapped
+  in the same per-subsystem timing hook the event loop applies, so
+  flight-recorder traces stay bit-identical to the per-event loop.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from operator import attrgetter
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.net.addr import IPAddress
+from repro.net.packet import Packet
+from repro.obs import recorder as _obs
+from repro.sim.engine import SimulationError, Simulator
+
+try:  # numpy is optional: searchsorted only accelerates batch formation
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via force_python flag
+    _np = None
+
+__all__ = ["PacketColumns", "PacketArrivalStream"]
+
+# Column extractors: ``map(attrgetter, records)`` iterates in C, which
+# matters at 10^5 records per replay. The 5-field getter returns the
+# arrival key tuple directly, in FlowKey-compatible field order.
+_get_time = attrgetter("time")
+_get_key = attrgetter("src", "src_port", "dst", "dst_port", "protocol")
+_get_payload = attrgetter("payload")
+_get_size = attrgetter("size")
+
+
+class PacketColumns:
+    """Struct-of-arrays view of a trace: one column per packet field,
+    packets materialized lazily.
+
+    Building a :class:`~repro.net.packet.Packet` per arrival (~6 µs each)
+    costs more than the whole span-lane dispatch budget, so the batched
+    replay path keeps arrivals as parallel columns of plain
+    ints/floats/strings — C-speed comprehensions over the trace records —
+    and only materializes ``packets[i]`` when a packet actually leaves
+    the span lane (slow-path dispatch, promotion-buffer replay, or the
+    faithful per-packet lane). ``packet_at`` caches, so a packet is
+    built at most once and every consumer shares the same instance.
+
+    ``keys[i]`` is the *arrival* 5-tuple ``(src, src_port, dst, dst_port,
+    protocol)`` with addresses as the trace's dotted-quad strings —
+    injective per conversation direction, which is all the gateway's span
+    cache needs. ``addr_cache`` (dotted-quad → :class:`IPAddress`) starts
+    empty and fills lazily: only addresses of flows that actually reach
+    the resolve path (or a materialized packet) ever pay for parsing.
+
+    :meth:`numpy_view` exposes float64/bool mirrors of the numeric
+    columns for the gateway's vectorized span aggregation; without numpy
+    it returns None and the per-packet span loop runs instead.
+    """
+
+    __slots__ = (
+        "records",
+        "n",
+        "times",
+        "keys",
+        "payloads",
+        "sizes",
+        "addr_cache",
+        "packets",
+        "_np_view",
+        "_kid_np",
+    )
+
+    def __init__(self, records: Sequence, time_offset: float = 0.0) -> None:
+        records = list(records)
+        self.records = records
+        self.n = len(records)
+        if time_offset:
+            self.times: List[float] = [r.time + time_offset for r in records]
+        else:
+            self.times = list(map(_get_time, records))
+        self.keys: List[Tuple[str, int, str, int, int]] = list(
+            map(_get_key, records)
+        )
+        self.payloads: List[str] = list(map(_get_payload, records))
+        self.sizes: List[int] = list(map(_get_size, records))
+        self.addr_cache: Dict[str, IPAddress] = {}
+        self.packets: List[Optional[Packet]] = [None] * self.n
+        self._np_view: Optional[Tuple] = None
+        self._kid_np = None
+
+    def numpy_view(self):
+        """``(times_f64, sizes_f64, has_payload_bool)`` numpy mirrors of
+        the columns (built once, cached), or None when numpy is absent.
+        Sizes are float64 so they can feed ``bincount`` weights directly;
+        sums stay exact (sizes and counts are far below 2**53)."""
+        view = self._np_view
+        if view is None:
+            if _np is None:
+                return None
+            view = self._np_view = (
+                _np.asarray(self.times, dtype=_np.float64),
+                _np.asarray(self.sizes, dtype=_np.float64),
+                _np.fromiter(
+                    (len(p) != 0 for p in self.payloads), _np.bool_, self.n
+                ),
+            )
+        return view
+
+    def key_ids(self):
+        """Arrival keys factorized to integer ids (numpy ``intp`` array,
+        built once, cached), or None when numpy is absent.
+
+        ``key_ids()[i]`` is the index of the *first* arrival sharing
+        ``keys[i]``'s 5-tuple — stable, injective per conversation
+        direction, and bounded by ``n``. The gateway's vectorized span
+        lane keys its flow-entry cache by these ids: flat array indexing
+        replaces tuple hashing on every per-packet cache probe."""
+        kids = self._kid_np
+        if kids is None:
+            if _np is None:
+                return None
+            index: Dict = {}
+            kids = self._kid_np = _np.fromiter(
+                map(index.setdefault, self.keys, range(self.n)),
+                _np.intp,
+                self.n,
+            )
+        return kids
+
+    def packet_at(self, i: int) -> Packet:
+        """Materialize (and cache) the packet for record ``i``."""
+        packet = self.packets[i]
+        if packet is None:
+            packet = self.packets[i] = self.records[i].to_packet(self.addr_cache)
+        return packet
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        built = sum(1 for p in self.packets if p is not None)
+        return f"<PacketColumns n={self.n} materialized={built}>"
+
+
+class PacketArrivalStream:
+    """A time-sorted packet workload merged into ``Simulator.run``.
+
+    ``times`` and ``packets`` are parallel arrays (``times`` must be
+    non-decreasing); ``deliver`` is the per-packet injection callable the
+    per-event loop would have scheduled (e.g. ``farm.inject``), and
+    ``deliver_batch`` the optional vectorized entry point used when no
+    flight recorder is installed.
+    """
+
+    __slots__ = (
+        "_sim",
+        "_times",
+        "_packets",
+        "_deliver",
+        "_deliver_batch",
+        "_columns",
+        "_deliver_span",
+        "_timing_label",
+        "_pos",
+        "_len",
+        "_base_seq",
+        "_times_np",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        times: Sequence[float],
+        packets: List[Packet],
+        deliver: Callable[[Packet], None],
+        deliver_batch: Optional[Callable[[List[Packet], int, int, float], None]] = None,
+        timing_label: str = "farm",
+        force_python: bool = False,
+        columns: Optional[PacketColumns] = None,
+        deliver_span: Optional[Callable[[PacketColumns, int, int], int]] = None,
+    ) -> None:
+        if len(times) != len(packets):
+            raise ValueError(
+                f"times/packets length mismatch: {len(times)} != {len(packets)}"
+            )
+        times = [float(t) for t in times]
+        times_np = (
+            _np.asarray(times, dtype=_np.float64)
+            if (_np is not None and not force_python)
+            else None
+        )
+        if times_np is not None and len(times) > 1:
+            descending = times_np[1:] < times_np[:-1]
+            bad = int(descending.argmax()) + 1 if descending.any() else 0
+        else:
+            bad = 0
+            for i in range(1, len(times)):
+                if times[i] < times[i - 1]:
+                    bad = i
+                    break
+        if bad:
+            raise SimulationError(
+                f"arrival times must be non-decreasing: item {bad} at"
+                f" t={times[bad]!r} after t={times[bad - 1]!r}"
+            )
+        if columns is not None and packets is not columns.packets:
+            raise ValueError(
+                "columns.packets must be the stream's packets list (the"
+                " lazy-materialization cache is shared)"
+            )
+        self._sim = sim
+        self._times = times
+        self._packets = packets
+        self._deliver = deliver
+        self._deliver_batch = deliver_batch
+        self._columns = columns
+        self._deliver_span = deliver_span if columns is not None else None
+        self._timing_label = timing_label
+        self._pos = 0
+        self._len = len(times)
+        self._base_seq = sim.reserve_seqs(self._len)
+        self._times_np = times_np
+
+    # ------------------------------------------------------------------ #
+    # ArrivalStream protocol (see repro.sim.engine)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def remaining(self) -> int:
+        return self._len - self._pos
+
+    def peek(self) -> Optional[Tuple[float, int]]:
+        i = self._pos
+        if i >= self._len:
+            return None
+        return (self._times[i], self._base_seq + i)
+
+    def _batch_end(self, start: int, t: float) -> int:
+        """End index (exclusive) of the equal-timestamp run beginning at
+        ``start``: numpy ``searchsorted`` when available, else a walk."""
+        if self._times_np is not None:
+            return int(self._times_np.searchsorted(t, side="right"))
+        times = self._times
+        end = start + 1
+        n = self._len
+        while end < n and times[end] == t:
+            end += 1
+        return end
+
+    def _span_limit(self, ktime: float, kseq: int, lo: int, hi: int) -> int:
+        """First index in ``[lo, hi)`` whose ``(time, seq)`` key outranks
+        ``(ktime, kseq)`` — arrivals below it may fire before that event.
+        Mirrors the per-item checks in :meth:`drain` exactly: an arrival
+        fires while its key is ``<=`` the competing key."""
+        times = self._times
+        left = bisect_left(times, ktime, lo, hi)
+        right = bisect_right(times, ktime, left, hi)
+        cut = kseq - self._base_seq + 1
+        if cut < left:
+            return left
+        if cut > right:
+            return right
+        return cut
+
+    def drain(
+        self,
+        until: Optional[float],
+        limit_key: Optional[Tuple[float, int]],
+        budget: Optional[int],
+    ) -> int:
+        sim = self._sim
+        times = self._times
+        base = self._base_seq
+        n = self._len
+        i = self._pos
+        delivered = 0
+        deliver_span = self._deliver_span
+        columns = self._columns
+        while i < n:
+            t = times[i]
+            if until is not None and t > until:
+                break
+            seq = base + i
+            if limit_key is not None and limit_key < (t, seq):
+                break
+            queue = sim._queue  # re-read: compaction rebinds the list
+            head = queue[0] if queue else None
+            if head is not None and (
+                head.time < t or (head.time == t and head.seq < seq)
+            ):
+                break
+            if deliver_span is not None and _obs.ACTIVE is None:
+                # Span lane: hand the gateway the longest run of arrivals
+                # that provably fires before the next heap event (the fast
+                # path schedules nothing, so the bound stays valid for the
+                # whole span). The gateway consumes the prefix it can
+                # prove per-event-equivalent and leaves the rest to the
+                # batch lane below.
+                lim = n
+                if until is not None:
+                    lim = bisect_right(times, until, i, lim)
+                if head is not None:
+                    lim = self._span_limit(head.time, head.seq, i, lim)
+                if limit_key is not None:
+                    lim = self._span_limit(limit_key[0], limit_key[1], i, lim)
+                if budget is not None and lim - i > budget - delivered:
+                    lim = i + (budget - delivered)
+                if lim > i:
+                    done = deliver_span(columns, i, lim)
+                    if done:
+                        # Clock/accounting after the fact: the span never
+                        # reads sim.now, so advancing once to the last
+                        # consumed timestamp is equivalent to per-item
+                        # advancement.
+                        sim.advance_for_stream(times[i + done - 1], done)
+                        i += done
+                        self._pos = i
+                        delivered += done
+                        if budget is not None and delivered >= budget:
+                            break
+                        continue
+            end = self._batch_end(i, t)
+            if budget is not None and end - i > budget - delivered:
+                end = i + (budget - delivered)
+            sim.advance_for_stream(t, end - i)
+            self._pos = end  # before dispatch: callbacks may inspect us
+            self._dispatch_slice(i, end, t)
+            delivered += end - i
+            i = end
+            if budget is not None and delivered >= budget:
+                break
+        return delivered
+
+    # ------------------------------------------------------------------ #
+    # Dispatch lanes
+    # ------------------------------------------------------------------ #
+
+    def _dispatch_slice(self, start: int, end: int, now: float) -> None:
+        recorder = _obs.ACTIVE
+        packets = self._packets
+        columns = self._columns
+        if columns is not None:
+            # Lazy columns: packets the span lane never consumed are
+            # materialized here, in arrival order, exactly as the eager
+            # path built them.
+            packet_at = columns.packet_at
+            for k in range(start, end):
+                if packets[k] is None:
+                    packet_at(k)
+        if recorder is None:
+            deliver_batch = self._deliver_batch
+            if deliver_batch is not None:
+                deliver_batch(packets, start, end, now)
+                return
+            deliver = self._deliver
+            for k in range(start, end):
+                deliver(packets[k])
+            return
+        # Faithful lane: per-packet delivery with the same per-subsystem
+        # timing attribution Simulator.step applies, so recorded traces
+        # are bit-identical to the per-event loop's.
+        deliver = self._deliver
+        label = self._timing_label
+        for k in range(start, end):
+            started = perf_counter()
+            deliver(packets[k])
+            recorder.record_timing(label, perf_counter() - started)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<PacketArrivalStream {self._pos}/{self._len}"
+            f" base_seq={self._base_seq}>"
+        )

@@ -16,14 +16,14 @@ Determinism guarantees:
 
 from __future__ import annotations
 
+import gc
 import heapq
-import itertools
 from time import perf_counter
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional, Protocol, Tuple
 
 from repro.obs import recorder as _obs
 
-__all__ = ["Event", "Simulator", "SimulationError"]
+__all__ = ["ArrivalStream", "Event", "Simulator", "SimulationError"]
 
 
 #: callback.__module__ -> short subsystem label, e.g.
@@ -53,6 +53,34 @@ def _subsystem_of(callback: Callable[..., Any]) -> str:
 
 class SimulationError(Exception):
     """Raised for invalid uses of the simulator (e.g. scheduling in the past)."""
+
+
+class ArrivalStream(Protocol):
+    """A pre-sorted source of work merged into :meth:`Simulator.run`.
+
+    Streams exist so bulk workloads (a million telescope arrivals) do not
+    pay one heap entry per item: the stream holds its items in arrival
+    order, owns a contiguous block of sequence numbers reserved via
+    :meth:`Simulator.reserve_seqs` at attach time, and the run loop merges
+    it against the heap by ``(time, seq)`` key — so firing order is
+    bit-identical to scheduling every item individually.
+    """
+
+    def peek(self) -> Optional[Tuple[float, int]]:
+        """``(time, seq)`` of the next undelivered item, or None when
+        exhausted."""
+
+    def drain(
+        self,
+        until: Optional[float],
+        limit_key: Optional[Tuple[float, int]],
+        budget: Optional[int],
+    ) -> int:
+        """Deliver items while they outrank the simulator's heap head,
+        ``limit_key`` (the best key among *other* attached streams), and
+        ``until``; returns how many items were delivered. The stream is
+        responsible for advancing the clock and the processed-event count
+        via :meth:`Simulator.advance_for_stream` for every item."""
 
 
 class Event:
@@ -124,7 +152,8 @@ class Simulator:
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._queue: list[Event] = []
-        self._seq = itertools.count()
+        self._seq = 0
+        self._streams: List[ArrivalStream] = []
         self._running = False
         self._events_processed = 0
         self._cancelled_in_heap = 0
@@ -181,7 +210,16 @@ class Simulator:
             self._compact()
 
     def _compact(self) -> None:
-        self._queue = [event for event in self._queue if not event.cancelled]
+        live: list[Event] = []
+        for event in self._queue:
+            if event.cancelled:
+                # Detach dropped tombstones: the event no longer occupies a
+                # heap slot, so nothing it does later (it is already
+                # cancelled, but belt-and-braces) may touch this simulator.
+                event._sim = None
+            else:
+                live.append(event)
+        self._queue = live
         heapq.heapify(self._queue)
         self._cancelled_in_heap = 0
         self._compactions += 1
@@ -214,10 +252,52 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time!r}; clock is already at {self._now!r}"
             )
-        event = Event(float(time), next(self._seq), callback, args)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(float(time), seq, callback, args)
         event._sim = self
         heapq.heappush(self._queue, event)
         return event
+
+    def reserve_seqs(self, count: int) -> int:
+        """Reserve a contiguous block of ``count`` sequence numbers and
+        return the first.
+
+        Arrival streams (see :class:`ArrivalStream`) claim their tie-break
+        seqs up front: item ``i`` carries key ``(times[i], base + i)``, so
+        at equal timestamps stream items fire before anything scheduled
+        *after* the reservation and after anything scheduled before it —
+        exactly the order individual ``schedule_at`` calls made at
+        reservation time would have produced.
+        """
+        if count < 0:
+            raise SimulationError(f"cannot reserve {count!r} sequence numbers")
+        base = self._seq
+        self._seq = base + count
+        return base
+
+    def attach_stream(self, stream: ArrivalStream) -> None:
+        """Merge ``stream`` into this simulator's run loop.
+
+        The stream must already hold its sequence block (via
+        :meth:`reserve_seqs`) and its first item must not be in the past.
+        Exhausted streams are detached automatically by :meth:`run`.
+        """
+        key = stream.peek()
+        if key is not None and key[0] < self._now:
+            raise SimulationError(
+                f"cannot attach stream starting at t={key[0]!r}; clock is"
+                f" already at {self._now!r}"
+            )
+        self._streams.append(stream)
+
+    def advance_for_stream(self, time: float, count: int = 1) -> None:
+        """Clock/accounting hook for streams delivering items from
+        :meth:`ArrivalStream.drain`: each delivered item advances the
+        clock to its timestamp and counts as one processed event, exactly
+        as if it had been popped off the heap."""
+        self._now = time
+        self._events_processed += count
 
     def call_now(self, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at the current time (after the
@@ -233,6 +313,8 @@ class Simulator:
 
         Returns ``True`` if an event ran, ``False`` if the queue was empty.
         Cancelled events are discarded without advancing the clock.
+        Serves the heap only — attached :class:`ArrivalStream` items are
+        merged by :meth:`run`, which is how streamed workloads execute.
         """
         while self._queue:
             if self._queue[0].cancelled:
@@ -272,14 +354,38 @@ class Simulator:
             raise SimulationError("simulator is already running (reentrant run())")
         self._running = True
         executed = 0
+        gc_saved = None
+        if self._streams and gc.isenabled():
+            # Stream drains allocate span bookkeeping (flow records,
+            # sessions, numpy scratch) in dense bursts; the default gen-0
+            # threshold makes the cyclic collector walk the heap thousands
+            # of times per storm for objects that are overwhelmingly still
+            # live. Trade collection frequency for batch size while the
+            # drain runs; restored on every exit path. Purely a wall-clock
+            # knob — collection points never affect simulated state.
+            gc_saved = gc.get_threshold()
+            gc.set_threshold(50_000, 50, 50)
         try:
-            while self._queue:
+            while True:
                 if max_events is not None and executed >= max_events:
                     break
-                head = self._queue[0]
-                if head.cancelled:
+                # self._queue is re-read each pass: compaction rebinds it.
+                while self._queue and self._queue[0].cancelled:
                     self._discard_head()
+                head = self._queue[0] if self._queue else None
+                stream, stream_key, runner_key = self._best_stream()
+                if stream is not None and (
+                    head is None or stream_key < (head.time, head.seq)
+                ):
+                    if until is not None and stream_key[0] > until:
+                        break
+                    budget = None if max_events is None else max_events - executed
+                    executed += stream.drain(until, runner_key, budget)
+                    if stream.peek() is None:
+                        self._streams.remove(stream)
                     continue
+                if head is None:
+                    break
                 if until is not None and head.time > until:
                     break
                 self.step()
@@ -291,22 +397,52 @@ class Simulator:
                     self._now = target
         finally:
             self._running = False
+            if gc_saved is not None:
+                gc.set_threshold(*gc_saved)
+
+    def _best_stream(
+        self,
+    ) -> Tuple[Optional[ArrivalStream], Optional[Tuple[float, int]], Optional[Tuple[float, int]]]:
+        """The attached stream with the earliest key, its key, and the
+        runner-up key (the limit a drain of the best stream must respect
+        so two streams still interleave in (time, seq) order)."""
+        best = None
+        best_key = None
+        runner_key = None
+        for stream in self._streams:
+            key = stream.peek()
+            if key is None:
+                continue
+            if best_key is None or key < best_key:
+                runner_key = best_key
+                best, best_key = stream, key
+            elif runner_key is None or key < runner_key:
+                runner_key = key
+        return best, best_key, runner_key
 
     def _next_pending_time(self) -> Optional[float]:
-        """Time of the next live event, discarding dead heads en route."""
+        """Time of the next live event or stream arrival, discarding dead
+        heads en route."""
+        next_time: Optional[float] = None
         while self._queue:
             head = self._queue[0]
             if head.cancelled:
                 self._discard_head()
                 continue
-            return head.time
-        return None
+            next_time = head.time
+            break
+        for stream in self._streams:
+            key = stream.peek()
+            if key is not None and (next_time is None or key[0] < next_time):
+                next_time = key[0]
+        return next_time
 
     def reset(self, start_time: float = 0.0) -> None:
-        """Discard all pending events and rewind the clock."""
+        """Discard all pending events and streams and rewind the clock."""
         for event in self._queue:
             event._sim = None
         self._queue.clear()
+        self._streams.clear()
         self._now = float(start_time)
         self._events_processed = 0
         self._cancelled_in_heap = 0

@@ -132,6 +132,28 @@ class Histogram:
         self._total += value
         self._sum_squares += value * value
 
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Record a batch of observations in one pass.
+
+        Equivalent to calling :meth:`observe` per value but amortizes the
+        bookkeeping: one extend, one sortedness check against the batch,
+        and two running-moment updates. Used by batched flushes (metric
+        emission over a whole arrival batch); an empty batch is a no-op —
+        mean/stddev stay well-defined (0.0) on an empty histogram.
+        """
+        values = list(values)
+        if not values:
+            return
+        old = self._values
+        if self._sorted and (
+            (old and values[0] < old[-1])
+            or any(b < a for a, b in zip(values, values[1:]))
+        ):
+            self._sorted = False
+        old.extend(values)
+        self._total += sum(values)
+        self._sum_squares += sum(v * v for v in values)
+
     def _ensure_sorted(self) -> None:
         if not self._sorted:
             self._values.sort()
@@ -244,17 +266,27 @@ class TimeSeries:
         return self.values[idx]
 
     def resample(self, interval: float, end: Optional[float] = None) -> "TimeSeries":
-        """Step-resample onto a uniform grid (for aligned figure series)."""
+        """Step-resample onto a uniform grid (for aligned figure series).
+
+        Grid points are derived as ``start + i * interval`` rather than by
+        accumulating ``t += interval``: repeated float addition drifts in
+        the last ulp, so two series resampled onto the "same" grid would
+        disagree on point timestamps (and any same-timestamp coalescing
+        over them silently fragments).
+        """
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval!r}")
         out = TimeSeries(self.name)
         if not self.times:
             return out
         stop = self.times[-1] if end is None else end
-        t = self.times[0]
+        start = self.times[0]
+        i = 0
+        t = start
         while t <= stop:
             out.record(t, self.value_at(t))
-            t += interval
+            i += 1
+            t = start + i * interval
         return out
 
     def max_value(self) -> float:

@@ -105,6 +105,12 @@ class Process:
         self._generator = generator
         self._on_complete = on_complete
         self._pending_wakeup: Optional[Event] = None
+        # Wake-epoch token: every scheduled wakeup captures the current
+        # epoch, and cancel()/resume bump it. A stale wakeup — e.g. a
+        # cancelled Sleep whose heap tombstone somehow fired after the
+        # process was rescheduled — then fails the token check instead of
+        # resuming the generator at the wrong time.
+        self._wake_epoch = 0
 
     def cancel(self) -> None:
         """Stop the process; it never resumes and ``on_complete`` never fires.
@@ -123,6 +129,7 @@ class Process:
             return
         self.cancelled = True
         self.finished = True
+        self._wake_epoch += 1
         if self._pending_wakeup is not None:
             self._pending_wakeup.cancel()
             self._pending_wakeup = None
@@ -135,10 +142,22 @@ class Process:
         self._advance(lambda: next(self._generator))
 
     def _resume(self, value: Any) -> None:
+        self._wake_epoch += 1
         self._pending_wakeup = None
         if self.finished:
             return
         self._advance(lambda: self._generator.send(value))
+
+    def _wakeup(self, epoch: int, value: Any) -> None:
+        """Scheduled-wakeup entry point (Sleep / latched WaitEvent).
+
+        Ignores wakeups whose epoch token is stale: the process was
+        cancelled or rescheduled after this wakeup was created, so firing
+        it would resume the generator out of turn.
+        """
+        if epoch != self._wake_epoch:
+            return
+        self._resume(value)
 
     def _advance(self, step: Callable[[], Any]) -> None:
         try:
@@ -161,12 +180,12 @@ class Process:
     def _dispatch(self, command: Any) -> None:
         if isinstance(command, Sleep):
             self._pending_wakeup = self.sim.schedule(
-                command.duration, self._resume, None
+                command.duration, self._wakeup, self._wake_epoch, None
             )
         elif isinstance(command, WaitEvent):
             if command.fired:
                 self._pending_wakeup = self.sim.call_now(
-                    self._resume, command.value
+                    self._wakeup, self._wake_epoch, command.value
                 )
             else:
                 command._waiters.append(self)

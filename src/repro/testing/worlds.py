@@ -71,16 +71,24 @@ class WorldSpec:
     containment: Optional[str] = None
     content_sharing: Optional[bool] = None
     ladder: bool = False
+    #: Feed the trace through the batched arrival stream
+    #: (:class:`~repro.sim.batch.PacketArrivalStream`) instead of one
+    #: scheduled event per packet. The batched loop is contractually
+    #: bit-identical, so a batched world must digest-match its
+    #: per-event siblings — running one world batched keeps the whole
+    #: conformance matrix as a standing cross-check of that contract.
+    batched: bool = False
 
 
 def world_matrix(scenario: Scenario) -> List[WorldSpec]:
-    """The default matrix: the scenario's primary delta world, its
+    """The default matrix: the scenario's primary delta world (driven
+    through the batched event loop — see :attr:`WorldSpec.batched`), its
     sharing flip, its full-copy ablation, one alternate containment
     policy (so every run diffs >= 2 policies), the fidelity-ladder
     variant, and the responder baseline."""
     alternate = "reflect" if scenario.containment == "drop-all" else "drop-all"
     return [
-        WorldSpec("delta"),
+        WorldSpec("delta", batched=True),
         WorldSpec("sharing-flip", content_sharing=not scenario.content_sharing),
         WorldSpec("fullcopy", clone_mode="full-copy"),
         WorldSpec(f"alt-{alternate}", containment=alternate),
@@ -207,7 +215,7 @@ def _run_farm(
     recorder = FlightRecorder(capacity=recorder_capacity)
     install(recorder)
     try:
-        replay_into_farm(farm, trace)
+        replay_into_farm(farm, trace, batched=spec.batched)
         if controller is not None:
             controller.start()
         farm.run(until=end_time)

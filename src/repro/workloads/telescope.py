@@ -342,10 +342,23 @@ class TelescopeWorkload:
             records = records[:max_records]
         return records
 
-    def attach(self, farm: Honeyfarm, duration: float) -> int:
-        """Generate and schedule a trace directly onto ``farm``; returns
-        the number of packets scheduled."""
+    def attach(self, farm: Honeyfarm, duration: float, batched: bool = False) -> int:
+        """Generate a trace and feed it directly onto ``farm``; returns
+        the number of packets.
+
+        ``batched=True`` streams the arrivals as one lazy
+        :class:`~repro.sim.batch.PacketColumns` arrival stream instead of
+        scheduling one event per packet — bit-identical behaviour (the
+        stream merges by the same ``(time, seq)`` order, and packets are
+        materialized only if they leave the gateway's span lane) at a
+        fraction of the event-loop cost.
+        """
         records = self.generate(duration)
+        if batched:
+            from repro.sim.batch import PacketColumns
+
+            farm.attach_arrival_columns(PacketColumns(records))
+            return len(records)
         for record in records:
             farm.sim.schedule_at(record.time, farm.inject, record.to_packet())
         return len(records)

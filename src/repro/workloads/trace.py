@@ -12,11 +12,12 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import IO, Iterable, Iterator, List, Optional, Union
+from typing import IO, Dict, Iterable, Iterator, List, Optional, Union
 
 from repro.core.honeyfarm import Honeyfarm
 from repro.net.addr import IPAddress
 from repro.net.packet import PROTO_TCP, PROTO_UDP, Packet, TcpFlags
+from repro.sim.batch import PacketColumns
 
 __all__ = ["TraceRecord", "TraceWriter", "TraceReader", "replay_into_farm"]
 
@@ -36,7 +37,11 @@ class TraceRecord:
     size: int = 40
     tcp_flags: int = 0  # 0 = infer from payload (SYN, or PSH|ACK for data)
 
-    def to_packet(self) -> Packet:
+    def to_packet(self, addr_cache: Optional[Dict[str, IPAddress]] = None) -> Packet:
+        """Materialize the packet. ``addr_cache`` (dotted-quad → address)
+        amortizes parsing across a replay: telescope traces revisit the
+        same sources and destinations constantly, and ``IPAddress`` is
+        immutable so sharing instances is safe."""
         if self.protocol == PROTO_TCP and self.tcp_flags:
             flags = TcpFlags(self.tcp_flags)
         elif self.protocol == PROTO_TCP and self.payload:
@@ -45,9 +50,18 @@ class TraceRecord:
             flags = TcpFlags.SYN
         else:
             flags = TcpFlags.NONE
+        if addr_cache is None:
+            src, dst = IPAddress.parse(self.src), IPAddress.parse(self.dst)
+        else:
+            src = addr_cache.get(self.src)
+            if src is None:
+                src = addr_cache[self.src] = IPAddress.parse(self.src)
+            dst = addr_cache.get(self.dst)
+            if dst is None:
+                dst = addr_cache[self.dst] = IPAddress.parse(self.dst)
         return Packet(
-            src=IPAddress.parse(self.src),
-            dst=IPAddress.parse(self.dst),
+            src=src,
+            dst=dst,
             protocol=self.protocol,
             src_port=self.src_port,
             dst_port=self.dst_port,
@@ -131,13 +145,26 @@ def replay_into_farm(
     farm: Honeyfarm,
     records: Iterable[TraceRecord],
     time_offset: float = 0.0,
+    batched: bool = False,
 ) -> int:
-    """Schedule every record's packet for injection at its timestamp
-    (plus ``time_offset``); returns the number scheduled.
+    """Feed every record's packet into the farm at its timestamp (plus
+    ``time_offset``); returns the number of packets.
+
+    ``batched=False`` schedules one injection event per record.
+    ``batched=True`` attaches the records as a lazy
+    :class:`~repro.sim.batch.PacketColumns` arrival stream instead —
+    bit-identical firing order and observable results (see
+    ``docs/PERFORMANCE.md``) without one heap entry per packet, and
+    without materializing a :class:`~repro.net.packet.Packet` for any
+    arrival the gateway's span lane fully absorbs.
 
     Records must not be earlier than the farm's current simulated time
     after the offset is applied.
     """
+    if batched:
+        columns = PacketColumns(records, time_offset)
+        farm.attach_arrival_columns(columns)
+        return columns.n
     count = 0
     for record in records:
         farm.sim.schedule_at(record.time + time_offset, farm.inject, record.to_packet())

@@ -39,14 +39,14 @@ def build_farm() -> Honeyfarm:
     ))
 
 
-def run_scenario() -> str:
+def run_scenario(batched: bool = False) -> str:
     """Run the fixed-seed scenario and render its full metric state."""
     farm = build_farm()
     workload = TelescopeWorkload(
         list(farm.inventory.prefixes), TelescopeConfig(seed=202)
     )
     records = workload.generate(DURATION)
-    replay_into_farm(farm, records)
+    replay_into_farm(farm, records, batched=batched)
     farm.run(until=DURATION)
 
     lines = [
@@ -70,6 +70,13 @@ def test_fixed_seed_scenario_matches_golden(golden):
 
 def test_scenario_is_deterministic_within_process():
     assert run_scenario() == run_scenario()
+
+
+def test_batched_replay_matches_golden(golden):
+    """The batched arrival stream (gateway ``dispatch_batch`` fast lane —
+    no recorder installed here) must reproduce the per-event golden
+    byte-for-byte, ``events_processed`` included."""
+    golden.check(GOLDEN_PATH, run_scenario(batched=True))
 
 
 if __name__ == "__main__":

@@ -178,3 +178,76 @@ class TestCli:
         assert rc == 0
         assert len(out_path.read_text().splitlines()) == 50
         assert "evicted" in capsys.readouterr().out
+
+
+class TestQuietRunGuards:
+    """A quiet run — empty trace, zero promotions, zero completed
+    handoffs — must summarize to zeros everywhere, never raise."""
+
+    def test_summary_of_empty_trace(self):
+        text = render_trace_summary([])
+        assert "0 events" in text
+        text = render_trace_summary([], timing={}, evicted=0)
+        assert "wall (ms)" in text
+
+    def test_ladder_summary_with_zero_promotions(self):
+        from repro.analysis.trace import ladder_summary
+
+        summary = ladder_summary([])
+        assert summary["promotions"] == 0
+        assert summary["mean_replayed_per_handoff"] == 0.0
+        # Demotion-only stream (every promotion evicted from the ring
+        # buffer): ratios still defined.
+        summary = ladder_summary([_ev(1.0, "ladder", "demotion", ip="a")])
+        assert summary["promotions"] == 0
+        assert summary["handoffs"] == 0
+        assert summary["mean_replayed_per_handoff"] == 0.0
+
+    def test_handoff_latencies_with_zero_promotions(self):
+        from repro.analysis.trace import handoff_latencies
+
+        assert handoff_latencies([]) == []
+        # A handoff with no matching promotion (promotion evicted) is
+        # skipped, not paired with garbage.
+        orphan = [_ev(1.0, "ladder", "handoff", ip="a", packets=3)]
+        assert handoff_latencies(orphan) == []
+
+    def test_summary_renders_demotion_only_ladder_section(self):
+        events = [_ev(1.0, "ladder", "demotion", ip="a", abandoned_handoff=True)]
+        text = render_trace_summary(events)
+        assert "Fidelity ladder" in text
+        assert "handoff latency" not in text  # no completed handoffs
+
+    def test_summary_with_promotions_but_no_handoffs(self):
+        events = [
+            _ev(1.0, "ladder", "promotion", ip="a", trigger="vuln_probe"),
+            _ev(2.0, "ladder", "promotion", ip="b", trigger="payload_bytes"),
+        ]
+        text = render_trace_summary(events)
+        assert "mean replayed per handoff" in text
+        assert "0.0" in text
+
+    def test_latency_stats_guard(self):
+        from repro.analysis.trace import _latency_stats
+
+        assert _latency_stats([]) is None
+        stats = _latency_stats([2.0])
+        assert stats["mean"] == 2.0 and stats["count"] == 1
+
+    def test_cli_inspect_quiet_trace(self, tmp_path, capsys):
+        path = tmp_path / "quiet.jsonl"
+        path.write_text("")
+        assert main(["trace", "--input", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 events" in out
+
+    def test_cli_inspect_quiet_ladder_filter(self, tmp_path, capsys):
+        # `potemkin trace --input ... --ladder` on a run with no ladder
+        # activity at all.
+        path = tmp_path / "quiet.jsonl"
+        events = [_ev(0.5, "gateway", "dispatch", seq=1, verdict="delivered",
+                      src="1.1.1.1", dst="10.0.0.5")]
+        path.write_text("\n".join(json.dumps(e) for e in events) + "\n")
+        assert main(["trace", "--input", str(path), "--ladder", "--tail", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "0 events" in out

@@ -179,3 +179,71 @@ class TestDeterminism:
             return log
 
         assert run_once() == run_once()
+
+
+class TestCompaction:
+    """Lazy heap compaction: cancelled events may be dropped from the
+    heap at any moment, and nothing observable may change when they are."""
+
+    def _force_compaction(self, sim):
+        """Push the dead fraction over one half on a big-enough heap."""
+        victims = [sim.schedule(100.0 + i, lambda: None) for i in range(80)]
+        before = sim.compactions
+        for event in victims:
+            event.cancel()
+        assert sim.compactions > before
+        return victims
+
+    def test_cancel_then_reschedule_across_compaction_boundary(self, sim):
+        # The idle-timer idiom: cancel the old deadline, schedule a new
+        # one — with a compaction in between. Only the new event fires.
+        fired = []
+        old = sim.schedule(50.0, fired.append, "stale")
+        old.cancel()
+        victims = self._force_compaction(sim)
+        replacement = sim.schedule(50.0, fired.append, "fresh")
+        sim.run(until=60.0)
+        assert fired == ["fresh"]
+        assert not replacement.cancelled
+        # The compacted-away tombstones are fully detached.
+        assert all(v._sim is None for v in victims)
+
+    def test_late_cancel_of_compacted_event_does_not_skew_accounting(self, sim):
+        stale = sim.schedule(50.0, lambda: None)
+        stale.cancel()
+        self._force_compaction(sim)
+        # The first compaction dropped and detached the stale tombstone.
+        assert stale._sim is None
+        # A second cancel of an event compaction already dropped must not
+        # re-enter the dead-event accounting (it no longer occupies a slot).
+        pending = sim.cancelled_pending
+        stale.cancel()
+        assert sim.cancelled_pending == pending
+
+    def test_cancel_during_run_after_compaction_still_honoured(self, sim):
+        fired = []
+        doomed = sim.schedule(55.0, fired.append, "doomed")
+
+        def cancel_doomed():
+            self._force_compaction(sim)
+            doomed.cancel()
+
+        sim.schedule(10.0, cancel_doomed)
+        sim.run(until=60.0)
+        assert fired == []
+
+    def test_compaction_preserves_firing_order(self, sim):
+        fired = []
+        for i in range(70):
+            sim.schedule(1.0 + (i % 7) * 0.5, fired.append, i)
+        expected_survivors = []
+        events = list(sim._queue)
+        for i, event in enumerate(events):
+            if i % 2:
+                event.cancel()
+        for i, event in enumerate(events):
+            if not i % 2:
+                expected_survivors.append((event.time, event.seq, event.args[0]))
+        expected_survivors.sort()
+        sim.run()
+        assert fired == [arg for _, _, arg in expected_survivors]

@@ -239,3 +239,75 @@ class TestMetricRegistry:
         report = reg.report()
         for name in ("pkts", "vms", "lat", "ts"):
             assert name in report
+
+
+class TestResampleGridDrift:
+    """The resample grid is derived (start + i * interval), never
+    accumulated (t += interval): repeated float addition drifts in the
+    last ulp, shifting point timestamps and the point count."""
+
+    def test_grid_points_are_exactly_derived(self):
+        ts = TimeSeries("s")
+        ts.record(0.0, 1.0)
+        ts.record(100.0, 2.0)
+        out = ts.resample(0.1)
+        assert list(out.times) == [i * 0.1 for i in range(len(out.times))]
+
+    def test_point_count_matches_ideal_grid(self):
+        # Accumulating 0.1 a thousand times undershoots 100.0 by ~1e-12,
+        # which squeezes a 1002nd point in before the stop; the derived
+        # grid lands exactly on 100.0 and stops there.
+        ts = TimeSeries("s")
+        ts.record(0.0, 1.0)
+        ts.record(100.0, 2.0)
+        out = ts.resample(0.1)
+        assert len(out) == 1001
+        assert out.times[-1] == 100.0
+
+    def test_nonzero_start_keeps_derived_grid(self):
+        ts = TimeSeries("s")
+        ts.record(7.3, 1.0)
+        ts.record(7.9, 4.0)
+        out = ts.resample(0.2)
+        assert list(out.times) == [7.3 + i * 0.2 for i in range(len(out.times))]
+
+
+class TestHistogramObserveMany:
+    def test_matches_sequential_observe(self):
+        batch = Histogram("b")
+        single = Histogram("s")
+        values = [3.0, 1.0, 2.0, 2.0, 9.5]
+        batch.observe_many(values)
+        for v in values:
+            single.observe(v)
+        assert batch.summary() == single.summary()
+        assert batch.stddev() == single.stddev()
+
+    def test_empty_flush_is_noop_and_stats_stay_defined(self):
+        h = Histogram("h")
+        h.observe_many([])
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.stddev() == 0.0
+        assert h.percentile(99) == 0.0
+
+    def test_empty_flush_after_data_changes_nothing(self):
+        h = Histogram("h")
+        h.observe_many([1.0, 2.0])
+        before = h.summary()
+        h.observe_many([])
+        assert h.summary() == before
+
+    def test_unsorted_batch_keeps_percentiles_exact(self):
+        h = Histogram("h")
+        h.observe_many([5.0, 1.0])
+        h.observe_many([0.5])
+        assert h.min == 0.5
+        assert h.percentile(50) == 1.0
+
+    def test_batch_lower_than_tail_flips_sorted_flag(self):
+        h = Histogram("h")
+        h.observe(10.0)
+        h.observe_many([1.0, 2.0])
+        assert h.min == 1.0
+        assert h.max == 10.0

@@ -193,3 +193,65 @@ class TestProcessLifecycle:
             ("slow", 5.0),
             ("slow", 7.5),
         ]
+
+
+class TestWakeEpochGuard:
+    """Stale scheduled wakeups must never resume a process out of turn."""
+
+    def test_stale_wakeup_token_is_ignored(self, sim):
+        log = []
+
+        def proc():
+            log.append(("tick", sim.now))
+            yield Sleep(5.0)
+            log.append(("woke", sim.now))
+
+        p = spawn(sim, proc())
+        sim.run(until=1.0)  # process started, now sleeping until t=5
+        stale_epoch = p._wake_epoch
+        p.cancel()
+        # Simulate the hazard directly: a wakeup captured before the
+        # cancel fires anyway. The epoch token must reject it.
+        p._wakeup(stale_epoch, None)
+        sim.run()
+        assert log == [("tick", 0.0)]
+        assert p.cancelled and p.finished
+
+    def test_wakeup_with_current_token_resumes(self, sim):
+        log = []
+
+        def proc():
+            yield Sleep(5.0)
+            log.append(("woke", sim.now))
+
+        p = spawn(sim, proc())
+        sim.run()
+        assert log == [("woke", 5.0)]
+        # After the resume the epoch moved on; replaying the old token
+        # (double-fire) is inert even though the process has finished.
+        p._wakeup(p._wake_epoch - 1, None)
+        assert log == [("woke", 5.0)]
+
+    def test_cancel_and_respawn_across_compaction_boundary(self, sim):
+        # The full satellite scenario: a sleeping process is cancelled,
+        # the heap compacts away its wakeup tombstone, and an identical
+        # process is started in its place — only the replacement wakes.
+        log = []
+
+        def sleeper(tag):
+            yield Sleep(50.0)
+            log.append((tag, sim.now))
+
+        doomed = spawn(sim, sleeper("doomed"))
+        sim.run(until=1.0)
+        doomed.cancel()
+        # Force a compaction (> half the heap dead, size over threshold).
+        victims = [sim.schedule(100.0 + i, lambda: None) for i in range(80)]
+        before = sim.compactions
+        for event in victims:
+            event.cancel()
+        assert sim.compactions > before
+        replacement = spawn(sim, sleeper("fresh"))
+        sim.run(until=60.0)
+        assert log == [("fresh", 51.0)]
+        assert replacement.finished and not replacement.cancelled
