@@ -11,11 +11,20 @@ The dedicated baseline must keep a booted VM per *address* (recycling is
 meaningless when instantiation costs 43 s), so its server count depends
 only on address count — which is what produces the orders-of-magnitude
 gap the paper's design closes.
+
+A second sweep drives the *implementation's* scale-out path: the same
+per-shard storm at 1, 2, and 4 shards through the multiprocess
+:class:`~repro.core.parallel.ParallelFederation` (one worker per shard),
+recording per-shard throughput as coverage grows —
+``reports/BENCH_shard_sweep.json``.
 """
 
 from __future__ import annotations
 
+import json
 import math
+import time
+from pathlib import Path
 
 from conftest import register_report
 
@@ -24,7 +33,9 @@ from repro.analysis.memory_stats import vms_per_host_estimate
 from repro.analysis.report import format_table
 from repro.baselines.dedicated import dedicated_vms_per_host
 from repro.net.addr import Prefix
+from repro.testing.fedscenario import FederationScenario
 from repro.workloads.telescope import TelescopeConfig, TelescopeWorkload
+from repro.workloads.worms import KNOWN_WORMS
 
 HOST_BYTES = 2 << 30
 IMAGE_BYTES = 128 << 20
@@ -84,3 +95,70 @@ def test_servers_per_slash16(benchmark):
     assert potemkin_hosts[60.0] <= 40
     assert dedicated_hosts > 1000
     assert dedicated_hosts / potemkin_hosts[60.0] > 100
+
+
+# --------------------------------------------------------------------- #
+# Federated scale-out sweep
+# --------------------------------------------------------------------- #
+
+SHARD_SWEEP = (1, 2, 4)
+SWEEP_REPORT = Path(__file__).parent / "reports" / "BENCH_shard_sweep.json"
+
+
+def run_shard_count(shards: int) -> dict:
+    """One federated run: ``shards`` /26 shards, one worker per shard,
+    each shard fed its own telescope partition plus the worm mix, so
+    total offered load grows linearly with coverage."""
+    scenario = FederationScenario(
+        seed=190525, shards=shards, shard_bits=26, duration=10.0,
+        latency=0.25, telescope_rate=2048.0, exploit_fraction=0.4,
+        probes_max=100, max_packets_per_shard=400, containment="reflect",
+        worms=tuple((name, 2.0) for name in sorted(KNOWN_WORMS)),
+        name=f"shard-sweep-{shards}",
+    )
+    t0 = time.perf_counter()
+    result = scenario.build_parallel(workers=shards).run(
+        until=scenario.duration
+    )
+    wall = time.perf_counter() - t0
+    result.assert_packet_conservation()
+    events = sum(r["events_processed"] for r in result.reports)
+    return {
+        "shards": shards,
+        "workers": shards,
+        "addresses": shards * scenario.addresses_per_shard,
+        "wall_seconds": round(wall, 3),
+        "events_processed": events,
+        "events_per_sec": round(events / wall, 1) if wall > 0 else None,
+        "infections": result.infection_count(),
+        "intershard_sent": result.intershard_totals()["sent"],
+    }
+
+
+def test_federated_shard_sweep(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [run_shard_count(n) for n in SHARD_SWEEP],
+        rounds=1, iterations=1,
+    )
+
+    SWEEP_REPORT.parent.mkdir(exist_ok=True)
+    SWEEP_REPORT.write_text(json.dumps({"sweep": rows}, indent=2) + "\n")
+    register_report(
+        "F-SCALE_shard_sweep",
+        format_table(
+            ["shards", "addresses", "wall s", "events/s", "infections",
+             "cross-shard msgs"],
+            [[r["shards"], r["addresses"], f"{r['wall_seconds']:.2f}",
+              f"{r['events_per_sec']:.0f}", r["infections"],
+              r["intershard_sent"]] for r in rows],
+            title="F-SCALE: federated shard sweep (one worker per shard)",
+        ),
+    )
+
+    by_shards = {r["shards"]: r for r in rows}
+    # Offered load grows with coverage, so processed events must too.
+    assert by_shards[2]["events_processed"] > by_shards[1]["events_processed"]
+    assert by_shards[4]["events_processed"] > by_shards[2]["events_processed"]
+    # One shard has no siblings; any wider federation must cross-talk.
+    assert by_shards[1]["intershard_sent"] == 0
+    assert all(by_shards[n]["intershard_sent"] > 0 for n in (2, 4))

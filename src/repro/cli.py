@@ -24,6 +24,10 @@ before writing code against the API:
   ladder / responder baseline), check every invariant oracle, and
   optionally shrink any failure to a minimal JSON repro plus a
   paste-ready pytest case.
+* ``potemkin federation`` — a parallel sharded federation run: N shard
+  farms over M worker processes in lockstep epochs, cross-shard
+  reflection over the message layer, per-shard rows, and a global
+  packet-conservation check (docs/FEDERATION.md).
 """
 
 from __future__ import annotations
@@ -319,6 +323,85 @@ def _cmd_conform(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_federation(args: argparse.Namespace) -> int:
+    from repro.testing.fedscenario import FederationScenario
+    from repro.workloads.worms import KNOWN_WORMS
+
+    scenario = FederationScenario(
+        seed=args.seed, shards=args.shards, shard_bits=args.shard_bits,
+        duration=args.duration, latency=args.latency,
+        telescope_rate=args.telescope_rate, exploit_fraction=0.4,
+        probes_max=100, max_packets_per_shard=args.max_packets,
+        containment=args.containment,
+        worms=tuple((name, 2.0) for name in sorted(KNOWN_WORMS)),
+        name="cli",
+    )
+    if args.scenario_file:
+        scenario = FederationScenario.from_json(
+            open(args.scenario_file).read()
+        )
+    if args.workers > 0:
+        lane = f"{args.workers} worker process(es)"
+        result = scenario.build_parallel(
+            args.workers, placement=args.placement
+        ).run(until=scenario.duration)
+        reports = result.reports
+    else:
+        lane = "in-process reference"
+        federation = scenario.build_reference()
+        federation.run(until=scenario.duration)
+        reports = federation.shard_reports()
+
+    print(
+        f"federation run — {scenario.shards} shard(s) over {lane},"
+        f" {scenario.duration:.0f}s simulated,"
+        f" epoch lookahead {scenario.interlink().lookahead:g}s\n"
+    )
+    rows = [
+        [
+            report["shard"],
+            ", ".join(report["prefixes"]),
+            report["live_vms"],
+            len(report["infections"]),
+            report["ledger"]["packets_in"],
+            report["intershard"]["sent"],
+            report["intershard"]["received"],
+            report["nat"]["reply_translations"],
+        ]
+        for report in reports
+    ]
+    print(format_table(
+        ["shard", "prefixes", "live VMs", "infections", "packets in",
+         "x-shard out", "x-shard in", "NAT replies"],
+        rows,
+        title="Per-shard outcome",
+    ))
+
+    try:
+        if args.workers > 0:
+            totals = result.assert_packet_conservation()
+        else:
+            ledger = federation.assert_packet_conservation()
+            totals = {
+                "packets_in": ledger.packets_in,
+                "delivered": ledger.delivered,
+                "emulated": ledger.emulated,
+                "refused": ledger.refused,
+                "dropped": ledger.dropped,
+                "still_pending": ledger.still_pending,
+            }
+    except AssertionError as exc:
+        print(f"\nERROR: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"\npacket conservation holds: {totals['packets_in']} in ="
+        f" {totals['delivered']} delivered + {totals['emulated']} emulated +"
+        f" {totals['refused']} refused + {totals['dropped']} dropped +"
+        f" {totals['still_pending']} pending"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="potemkin",
@@ -447,6 +530,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for failing-scenario JSON and repro files",
     )
     conform.set_defaults(func=_cmd_conform)
+
+    federation = sub.add_parser(
+        "federation",
+        help="parallel sharded federation run with conservation check",
+    )
+    federation.add_argument("--shards", type=int, default=2,
+                            help="number of shard farms (default 2)")
+    federation.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes; 0 runs the in-process reference lane",
+    )
+    federation.add_argument("--shard-bits", type=int, default=26,
+                            help="prefix length per shard (default /26)")
+    federation.add_argument("--duration", type=float, default=15.0,
+                            help="simulated seconds")
+    federation.add_argument("--latency", type=float, default=0.25,
+                            help="cross-shard hop latency (= epoch lookahead)")
+    federation.add_argument("--telescope-rate", type=float, default=2048.0,
+                            help="telescope sources/s per /16 per shard")
+    federation.add_argument("--max-packets", type=int, default=600,
+                            help="telescope records per shard")
+    federation.add_argument(
+        "--containment", default="reflect",
+        choices=["open", "drop-all", "allow-dns", "reflect"],
+    )
+    federation.add_argument(
+        "--placement", default="balanced",
+        choices=["balanced", "round-robin"],
+        help="shard -> worker placement policy",
+    )
+    federation.add_argument(
+        "--scenario-file", default=None,
+        help="run a pinned FederationScenario JSON instead of the knobs above",
+    )
+    federation.add_argument("--seed", type=int, default=1905)
+    federation.set_defaults(func=_cmd_federation)
     return parser
 
 

@@ -1,18 +1,32 @@
-"""Gateway scale-out: federating several honeyfarms over one clock.
+"""Gateway scale-out: federating several honeyfarms.
 
 The gateway is the architecture's central chokepoint — every packet of
 every tunnel crosses it. The paper's scaling answer is horizontal:
 partition the dark address space across several gateways, each running
 its own farm, with nothing shared but the upstream routers' divert
-rules. :class:`FederatedHoneyfarm` builds exactly that: N member farms
-with disjoint prefixes on one simulated clock, a dispatch step that
-routes each inbound packet to the owning member (what the routers'
-tunnel configuration does in deployment), and aggregate reporting.
+rules. :class:`FederatedHoneyfarm` builds exactly that in two shapes:
 
-Members stay fully independent — separate gateways, flow tables,
-containment state, clusters — so a member's failure or overload never
-touches the others' traffic, which is the operational point of the
-partitioning.
+* **Legacy shared-clock mode** (``interlink=None``, the default): N
+  member farms on one simulated clock, a dispatch step that routes each
+  inbound packet to the owning member, fully member-local containment.
+  Members stay completely independent — a member's failure or overload
+  never touches the others' traffic.
+* **Interlink mode** (``interlink=InterShardConfig(...)``): each member
+  becomes a :class:`~repro.core.intershard.ShardRunner` on a *private*
+  clock, advanced in lockstep epochs with cross-shard reflected traffic
+  carried by the inter-shard message layer. This is the in-process
+  *golden reference* for the multiprocess
+  :class:`~repro.core.parallel.ParallelFederation`: both lanes drive the
+  identical runners through the identical epoch loop, so their results
+  are bit-equal by construction (and gated in
+  ``benchmarks/bench_federation.py``).
+
+Either way the federation carries the aggregate books: merged infection
+timelines, summed counters, per-member packet ledgers, and a global
+packet-conservation check (:meth:`assert_packet_conservation`) that
+every packet entering any gateway is delivered, emulated, refused,
+dropped-with-cause, still pending, or — interlink only — in flight
+between shards.
 """
 
 from __future__ import annotations
@@ -22,8 +36,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.config import HoneyfarmConfig
 from repro.core.delta import MemoryBreakdown, farm_memory_breakdown
 from repro.core.honeyfarm import Honeyfarm
+from repro.core.intershard import InterShardConfig, ShardRunner, run_epochs
 from repro.net.addr import IPAddress, Prefix
 from repro.net.packet import Packet
+from repro.net.shardmap import ShardMap
 from repro.services.guest import InfectionRecord, ScanBehavior
 from repro.services.personality import PersonalityRegistry
 from repro.sim.engine import Simulator
@@ -32,24 +48,61 @@ __all__ = ["FederatedHoneyfarm"]
 
 
 class FederatedHoneyfarm:
-    """N independent farms, disjoint address shards, one clock.
+    """N farms over disjoint address shards. See module docstring.
 
     Parameters
     ----------
     shard_configs:
         One :class:`HoneyfarmConfig` per member; their prefixes must be
         mutually disjoint (each member is sovereign over its shard).
+    interlink:
+        None (default) keeps the legacy shared-clock federation. An
+        :class:`InterShardConfig` switches to lockstep-epoch members on
+        private clocks with cross-shard reflection over the message
+        layer — the reference semantics of the parallel lane.
+    worms:
+        Interlink mode only: ``(name, scan_rate)`` specs registered on
+        every shard inside the runner (the multiprocess lane registers
+        the identical specs in its workers; see
+        :class:`~repro.core.intershard.ShardRunner`).
+    shard_recorder_capacity:
+        Interlink mode only: give each shard a private flight recorder
+        of this capacity (0 disables), surfaced in shard reports.
     """
 
     def __init__(
         self,
         shard_configs: Sequence[HoneyfarmConfig],
         personalities: Optional[PersonalityRegistry] = None,
+        interlink: Optional[InterShardConfig] = None,
+        worms: Sequence[Tuple[str, float]] = (),
+        shard_recorder_capacity: int = 0,
     ) -> None:
         if not shard_configs:
             raise ValueError("a federation needs at least one member farm")
+        self.interlink = interlink
+        self.runners: List[ShardRunner] = []
+        self.unrouteable_packets = 0
+        if interlink is not None:
+            shard_map = ShardMap.from_configs(shard_configs)  # validates
+            self.sim: Optional[Simulator] = None
+            self.shard_map: Optional[ShardMap] = shard_map
+            self.runners = [
+                ShardRunner(
+                    index, config, shard_map, interlink,
+                    personalities=personalities, worms=worms,
+                    recorder_capacity=shard_recorder_capacity,
+                )
+                for index, config in enumerate(shard_configs)
+            ]
+            self.members: List[Honeyfarm] = [r.farm for r in self.runners]
+            return
+        if worms:
+            raise ValueError("worm specs require interlink mode; use"
+                             " register_worm() on a legacy federation")
         self.sim = Simulator()
-        self.members: List[Honeyfarm] = []
+        self.shard_map = None
+        self.members = []
         claimed: List[Prefix] = []
         for config in shard_configs:
             for prefix in config.parsed_prefixes():
@@ -63,7 +116,6 @@ class FederatedHoneyfarm:
             self.members.append(
                 Honeyfarm(config, personalities=personalities, sim=self.sim)
             )
-        self.unrouteable_packets = 0
 
     # ------------------------------------------------------------------ #
     # Routing and driving
@@ -77,7 +129,9 @@ class FederatedHoneyfarm:
         return None
 
     def inject(self, packet: Packet) -> None:
-        """Route one packet to the owning member's gateway."""
+        """Route one packet to the owning member's gateway (in interlink
+        mode this is a pre-run seeding hook: mid-run injection would
+        bypass the epoch barriers)."""
         member = self.member_for(packet.dst)
         if member is None:
             self.unrouteable_packets += 1
@@ -89,15 +143,52 @@ class FederatedHoneyfarm:
         for member in self.members:
             member.register_worm(behavior)
 
+    def attach_telescope(self, telescope, batched: bool = True) -> int:
+        """Attach a :class:`~repro.workloads.telescope.PartitionedTelescope`
+        (interlink mode): each shard generates and replays its own
+        partition, exactly as the parallel lane's workers do."""
+        self._require_interlink("attach_telescope")
+        if telescope.shard_count != len(self.runners):
+            raise ValueError(
+                f"telescope has {telescope.shard_count} partitions for"
+                f" {len(self.runners)} shards"
+            )
+        return sum(
+            runner.attach_telescope(telescope, batched=batched)
+            for runner in self.runners
+        )
+
+    def attach_shard_records(
+        self, shard: int, records, batched: bool = True
+    ) -> int:
+        """Feed one shard's explicit record list (interlink mode)."""
+        self._require_interlink("attach_shard_records")
+        return self.runners[shard].attach_records(records, batched=batched)
+
     def run(self, until: float) -> None:
-        """Run all members (they share the clock) to ``until``."""
+        """Run the federation to ``until`` — one shared clock in legacy
+        mode, lockstep epochs over private clocks in interlink mode."""
+        if self.interlink is not None:
+            run_epochs(self.runners, until, self.interlink.lookahead)
+            return
         for member in self.members:
             member._ensure_sweeper()
         self.sim.run(until=until)
 
+    def _require_interlink(self, what: str) -> None:
+        if self.interlink is None:
+            raise ValueError(f"{what} requires interlink mode")
+
     # ------------------------------------------------------------------ #
     # Aggregate reporting
     # ------------------------------------------------------------------ #
+
+    @property
+    def now(self) -> float:
+        """The federation's simulated time (all clocks agree at barriers)."""
+        if self.interlink is not None:
+            return max(r.farm.sim.now for r in self.runners)
+        return self.sim.now
 
     @property
     def total_addresses(self) -> int:
@@ -134,21 +225,111 @@ class FederatedHoneyfarm:
                 totals[name] = totals.get(name, 0) + value
         return totals
 
-    def per_member_rows(self) -> List[Tuple[str, int, int, int]]:
-        """(shard, live VMs, spawned, infections) rows for reports."""
+    def member_ledgers(self) -> List:
+        """One :class:`~repro.analysis.recovery.PacketLedger` per member."""
+        from repro.analysis.recovery import packet_ledger
+
+        return [packet_ledger(member) for member in self.members]
+
+    def federation_ledger(self):
+        """The federation-wide packet ledger, reconciled *independently*
+        from the summed counters (so it cross-checks the per-member
+        ledgers rather than restating them)."""
+        from repro.analysis.recovery import PENDING_DROP_CAUSES, PacketLedger
+
+        totals = self.aggregate_counters()
+        dropped: Dict[str, int] = {}
+        for cause in ("no_capacity_drop", "pending_overflow", "dropped_vm_not_running"):
+            count = totals.get(f"gateway.{cause}", 0)
+            if count:
+                dropped[cause.replace("_drop", "").replace("dropped_", "")] = count
+        for cause in PENDING_DROP_CAUSES:
+            count = totals.get(f"gateway.pending_dropped_{cause}", 0)
+            if count:
+                dropped[f"pending_{cause}"] = count
+        return PacketLedger(
+            packets_in=totals.get("gateway.packets_in", 0),
+            delivered=totals.get("gateway.delivered", 0),
+            refused=(
+                totals.get("gateway.ttl_expired", 0)
+                + totals.get("gateway.stray", 0)
+            ),
+            dropped_by_cause=dropped,
+            still_pending=sum(
+                m.gateway.pending_packet_count for m in self.members
+            ),
+            emulated=totals.get("gateway.emulated", 0),
+        )
+
+    def assert_packet_conservation(self):
+        """Global packet conservation, or raise with every violation.
+
+        Checks, in order: each member's own ledger balances (leaked ==
+        0); the sum of member ledgers equals the federation ledger,
+        bucket by bucket; and — interlink mode — the message layer
+        conserves too (every message sent was received by its owner or
+        is still in a mailbox past the final barrier). Returns the
+        federation ledger on success.
+        """
+        members = self.member_ledgers()
+        federation = self.federation_ledger()
+        failures: List[str] = []
+        for index, ledger in enumerate(members):
+            if ledger.leaked != 0:
+                failures.append(
+                    f"member {index} leaked {ledger.leaked} packets"
+                )
+        for bucket in (
+            "packets_in", "delivered", "emulated", "refused",
+            "dropped", "still_pending",
+        ):
+            member_sum = sum(getattr(ledger, bucket) for ledger in members)
+            fed_value = getattr(federation, bucket)
+            if member_sum != fed_value:
+                failures.append(
+                    f"{bucket}: member ledgers sum to {member_sum}"
+                    f" but the federation ledger says {fed_value}"
+                )
+        if self.interlink is not None:
+            sent = sum(r.sent for r in self.runners)
+            received = self.aggregate_counters().get("gateway.intershard_in", 0)
+            undelivered = sum(r.undelivered_messages for r in self.runners)
+            if sent != received + undelivered:
+                failures.append(
+                    f"inter-shard messages: {sent} sent !="
+                    f" {received} received + {undelivered} undelivered"
+                )
+        if failures:
+            raise AssertionError(
+                "federation packet conservation violated: "
+                + "; ".join(failures)
+            )
+        return federation
+
+    def shard_reports(self) -> List[Dict]:
+        """Per-shard reports in the exact shape the parallel lane's
+        workers return (interlink mode) — the bit-equality surface the
+        worker-count invariance tests and the federation bench compare."""
+        self._require_interlink("shard_reports")
+        return [runner.report() for runner in self.runners]
+
+    def per_member_rows(self) -> List[Tuple[str, int, int, int, int]]:
+        """(shard, live VMs, spawned, infections, packets in) rows."""
         rows = []
-        for index, member in enumerate(self.members):
+        for member in self.members:
             counters = member.metrics.counters()
             rows.append((
                 ", ".join(member.config.prefixes),
                 member.live_vms,
                 counters.get("farm.vms_spawned", 0),
                 member.infection_count(),
+                counters.get("gateway.packets_in", 0),
             ))
         return rows
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"<FederatedHoneyfarm members={len(self.members)}"
-            f" addresses={self.total_addresses} t={self.sim.now:.1f}s>"
+            f" addresses={self.total_addresses} t={self.now:.1f}s"
+            f"{' interlinked' if self.interlink is not None else ''}>"
         )

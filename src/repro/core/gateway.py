@@ -144,6 +144,11 @@ class Gateway:
         # block is enabled): consulted for cold addresses before a clone
         # is dispatched, and handed the replay when the clone is ready.
         self.ladder: Optional["FidelityLadder"] = None
+        # Inter-shard port (attached by a federation ShardRunner when the
+        # farm is one shard of many): duck-typed against ``is_remote``
+        # and ``send``. None on standalone farms — every check below is
+        # one attribute load and an identity test.
+        self.intershard = None
         self.nat = ReflectionNat()
         self.vm_map: Dict[IPAddress, VirtualMachine] = {}
         # Packets held while a clone is in flight, each with the flow
@@ -211,6 +216,11 @@ class Gateway:
         self._c_initiated_external = handle("gateway.initiated_external_out")
         self._c_reply_external = handle("gateway.reply_external_out")
         self._c_external_out = handle("gateway.external_out")
+        # Cross-shard traffic through the federation's message layer:
+        # counted on both sides of the boundary so the federation-level
+        # conservation check (sum out == sum in + in flight) is exact.
+        self._c_intershard_out = handle("gateway.intershard_out")
+        self._c_intershard_in = handle("gateway.intershard_in")
         self._c_dns_malformed = handle("gateway.dns_malformed")
         self._c_dns_answered = handle("gateway.dns_answered")
         # Fidelity-ladder buckets: packets fully served by the emulator
@@ -915,6 +925,11 @@ class Gateway:
                 return None  # stray, or an internal source: slow path
         elif not inventory.covers(dst_addr) or inventory.covers(src_addr):
             return None
+        if self.intershard is not None and self.intershard.is_remote(src_addr):
+            # A sibling shard's address probing this darknet: its replies
+            # must ride the federation message layer, never the span
+            # lane's counter-only absorption.
+            return None
         vm_map = self.vm_map
         if vm_map and vm_map.get(dst_addr) is not None:
             return None  # VM-backed address: clone/deliver path
@@ -1249,7 +1264,10 @@ class Gateway:
                     action="nat-rewrite", src=str(packet.src),
                     dst=str(packet.dst), vm_id=vm.vm_id,
                 )
-            self.process_inbound(rewritten.decremented_ttl())
+            # Under federation-wide reflection the recorded stand-in may
+            # live in a sibling shard's darknet.
+            if not self._route_intershard(rewritten, reply=False):
+                self.process_inbound(rewritten.decremented_ttl())
             return
 
         record, created = self.flows.observe(packet, self.sim.now)
@@ -1269,7 +1287,7 @@ class Gateway:
             self._c_out_allowed.increment()
             if self.inventory.covers(packet.dst):
                 self.process_inbound(packet.decremented_ttl())
-            else:
+            elif not self._route_intershard(packet, reply=False):
                 self._c_initiated_external.increment()
                 self._send_external(packet)
         elif verdict.action is ContainmentAction.DROP:
@@ -1280,9 +1298,13 @@ class Gateway:
         elif verdict.action is ContainmentAction.REFLECT:
             assert verdict.new_destination is not None
             self._c_out_reflected.increment()
+            # The NAT record stays on the initiating VM's shard: replies
+            # come back through the message layer raw and are translated
+            # here, mirroring the local reflection path exactly.
             self.nat.record(vm.ip, verdict.new_destination, packet.dst)
             reflected = packet.with_destination(verdict.new_destination)
-            self.process_inbound(reflected.decremented_ttl())
+            if not self._route_intershard(reflected, reply=False):
+                self.process_inbound(reflected.decremented_ttl())
         else:  # pragma: no cover - exhaustive over the enum
             raise AssertionError(f"unhandled containment action: {verdict.action!r}")
 
@@ -1299,7 +1321,10 @@ class Gateway:
         if self.inventory.covers(packet.dst):
             translated = self.nat.translate_reply_source(packet)
             self.process_inbound(translated.decremented_ttl())
-        else:
+        elif not self._route_intershard(packet, reply=True):
+            # Without the reply=True lane, a reply to a sibling shard's
+            # VM would sail out here as a false external escape — the
+            # PR 5 escape class, across shard boundaries.
             self._c_reply_external.increment()
             self._send_external(packet)
 
@@ -1345,7 +1370,8 @@ class Gateway:
                 self._c_out_reflected.increment()
                 self.nat.record(packet.src, verdict.new_destination, packet.dst)
                 reflected = packet.with_destination(verdict.new_destination)
-                self.process_inbound(reflected.decremented_ttl())
+                if not self._route_intershard(reflected, reply=False):
+                    self.process_inbound(reflected.decremented_ttl())
                 return
             if verdict.action is not ContainmentAction.ALLOW:
                 # DROP, or DNS redirection the emulator never initiates.
@@ -1354,9 +1380,47 @@ class Gateway:
         if self.inventory.covers(packet.dst):
             translated = self.nat.translate_reply_source(packet)
             self.process_inbound(translated.decremented_ttl())
-        else:
+        elif not self._route_intershard(packet, reply=True):
             self._c_reply_external.increment()
             self._send_external(packet)
+
+    def _route_intershard(self, packet: Packet, reply: bool) -> bool:
+        """Hand ``packet`` to the federation message layer when a sibling
+        shard owns its destination; False means the caller keeps routing
+        locally (standalone farm, own shard, or genuinely external)."""
+        port = self.intershard
+        if port is None or not port.is_remote(packet.dst):
+            return False
+        self._c_intershard_out.increment()
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.emit(
+                self.sim.now, "gateway", "intershard",
+                direction="out", reply=reply,
+                src=str(packet.src), dst=str(packet.dst),
+            )
+        port.send(packet, reply)
+        return True
+
+    def receive_intershard(self, packet: Packet, reply: bool) -> None:
+        """Deliver one packet arriving from a sibling shard.
+
+        Reply-kind packets cross the boundary raw (the sender holds no
+        NAT state for them) and are source-translated *here*, on the
+        shard whose VM initiated the reflected flow — the exact mirror of
+        the local reply path. The TTL decrements once per gateway
+        traversal, same as local forwarding, so reflection ping-pong
+        between shards still dies at the TTL horizon.
+        """
+        self._c_intershard_in.increment()
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.emit(
+                self.sim.now, "gateway", "intershard",
+                direction="in", reply=reply,
+                src=str(packet.src), dst=str(packet.dst),
+            )
+        if reply:
+            packet = self.nat.translate_reply_source(packet)
+        self.process_inbound(packet.decremented_ttl())
 
     def _send_external(self, packet: Packet) -> None:
         """Ship a permitted packet to the Internet through the tunnel that

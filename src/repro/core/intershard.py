@@ -1,0 +1,477 @@
+"""The inter-shard message layer and lockstep-epoch shard runner.
+
+The federation's parallel lane splits the dark space across N shard
+workers, each owning a full farm (gateway, hosts, ladder, batched event
+loop) on a *private* clock. Cross-shard traffic — chiefly reflected
+scans from infected VMs and the replies coming back — crosses process
+boundaries as :class:`ShardMessage` records over a conservative
+time-stepped synchronization protocol:
+
+* Every cross-shard hop costs at least ``latency_seconds`` of simulated
+  time (the federation's minimum inter-gateway latency, standing in for
+  the paper's GRE-tunnel round trip between gateways).
+* All shards therefore advance in **lockstep epochs** of width
+  ``epoch_lookahead <= latency_seconds``: a message sent during epoch
+  ``k`` cannot be due before the epoch-``k`` barrier, so exchanging
+  outboxes at each barrier delivers every message to its destination
+  shard *before* the simulated instant it arrives. No shard ever sees
+  an event out of order, and no rollback is needed.
+* Delivery order inside a shard is fixed by the mailbox key
+  ``(deliver_time, src_shard, seq)`` — pure protocol state, independent
+  of OS scheduling — which is what makes runs bit-reproducible for any
+  worker count (see docs/FEDERATION.md for the full argument).
+
+:class:`ShardRunner` is the per-shard epoch engine. Both lanes use it:
+the in-process :class:`~repro.core.federation.FederatedHoneyfarm`
+reference drives a list of runners directly, and the multiprocess
+:class:`~repro.core.parallel.ParallelFederation` drives the identical
+runners inside worker processes — equality of results is by
+construction, and the benchmark gate checks it anyway.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import HoneyfarmConfig
+from repro.core.containment import make_policy
+from repro.core.honeyfarm import Honeyfarm
+from repro.net.addr import IPAddress
+from repro.net.packet import Packet, TcpFlags
+from repro.net.shardmap import ShardMap
+from repro.obs import recorder as _obs
+from repro.obs.recorder import FlightRecorder, event_tally
+
+__all__ = [
+    "WIRE_VERSION",
+    "InterShardConfig",
+    "ShardMessage",
+    "ShardRunner",
+    "assign_shards",
+    "decode_packet",
+    "encode_packet",
+    "run_epochs",
+]
+
+#: Wire-format version for :meth:`ShardMessage.encode`. Bump on any
+#: layout change; decoders reject mismatches instead of misparsing.
+WIRE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class InterShardConfig:
+    """Protocol constants every shard must agree on.
+
+    Attributes
+    ----------
+    latency_seconds:
+        Minimum simulated latency of a cross-shard hop. This is the
+        protocol's lookahead source: no message sent at time ``t`` can
+        take effect before ``t + latency_seconds``.
+    epoch_lookahead:
+        Lockstep epoch width. ``None`` (the default) uses the full
+        latency — the widest window that is still conservative. Smaller
+        values are legal (more barriers, same results); larger values
+        would let a message be due before the barrier that carries it,
+        so they are rejected.
+    """
+
+    latency_seconds: float = 0.5
+    epoch_lookahead: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.latency_seconds <= 0:
+            raise ValueError(
+                f"latency_seconds must be positive: {self.latency_seconds!r}"
+            )
+        if self.epoch_lookahead is not None:
+            if self.epoch_lookahead <= 0:
+                raise ValueError(
+                    f"epoch_lookahead must be positive: {self.epoch_lookahead!r}"
+                )
+            if self.epoch_lookahead > self.latency_seconds:
+                raise ValueError(
+                    "epoch_lookahead must not exceed latency_seconds"
+                    f" ({self.epoch_lookahead!r} > {self.latency_seconds!r}):"
+                    " a wider epoch could owe a shard a message from its past"
+                )
+
+    @property
+    def lookahead(self) -> float:
+        """The effective epoch width."""
+        if self.epoch_lookahead is None:
+            return self.latency_seconds
+        return self.epoch_lookahead
+
+
+# ---------------------------------------------------------------------- #
+# Wire format
+# ---------------------------------------------------------------------- #
+
+def encode_packet(packet: Packet) -> Tuple:
+    """Flatten a packet to a compact tuple of primitives (picklable,
+    JSON-able modulo the payload string)."""
+    return (
+        packet.src.value, packet.dst.value, packet.protocol,
+        packet.src_port, packet.dst_port, int(packet.flags),
+        packet.icmp_type, packet.payload, packet.size, packet.ttl,
+    )
+
+
+def decode_packet(wire: Sequence) -> Packet:
+    """Rebuild a packet from :func:`encode_packet` output. The packet is
+    a fresh object in either lane (the in-process reference round-trips
+    through the same codec, so object identity never leaks into
+    behaviour)."""
+    return Packet(
+        src=IPAddress(wire[0]), dst=IPAddress(wire[1]), protocol=wire[2],
+        src_port=wire[3], dst_port=wire[4], flags=TcpFlags(wire[5]),
+        icmp_type=wire[6], payload=wire[7], size=wire[8], ttl=wire[9],
+    )
+
+
+@dataclass(frozen=True)
+class ShardMessage:
+    """One cross-shard packet in flight.
+
+    ``seq`` is the sender's per-shard monotonic message counter; together
+    with ``(deliver_time, src_shard)`` it totally orders every mailbox,
+    which is the backbone of the determinism argument. ``reply`` marks
+    packets on the *return* path of a reflected flow: the receiving
+    gateway must run them through its ``ReflectionNat`` reply-source
+    rewrite, exactly as it would a local reply (the PR 5 escape class,
+    now across shard boundaries).
+    """
+
+    send_time: float
+    deliver_time: float
+    src_shard: int
+    dst_shard: int
+    seq: int
+    reply: bool
+    wire: Tuple
+
+    def encode(self) -> Tuple:
+        """The versioned on-pipe form (primitives only)."""
+        return (
+            WIRE_VERSION, self.send_time, self.deliver_time,
+            self.src_shard, self.dst_shard, self.seq, self.reply, self.wire,
+        )
+
+    @classmethod
+    def decode(cls, encoded: Sequence) -> "ShardMessage":
+        if encoded[0] != WIRE_VERSION:
+            raise ValueError(
+                f"inter-shard wire version mismatch: got {encoded[0]!r},"
+                f" expected {WIRE_VERSION}"
+            )
+        return cls(
+            send_time=encoded[1], deliver_time=encoded[2],
+            src_shard=encoded[3], dst_shard=encoded[4],
+            seq=encoded[5], reply=encoded[6], wire=tuple(encoded[7]),
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Shard -> worker placement
+# ---------------------------------------------------------------------- #
+
+def assign_shards(
+    loads: Sequence[int],
+    workers: int,
+    policy: Union[str, Callable[[Sequence[int], int], Sequence[int]]] = "balanced",
+) -> List[int]:
+    """Place shards onto workers; returns ``worker_index`` per shard.
+
+    ``loads`` is one load estimate per shard (by convention the shard's
+    dark-address count, the best static proxy for its packet share).
+    Policies:
+
+    * ``"round-robin"`` — shard ``i`` to worker ``i % workers``.
+    * ``"balanced"`` — longest-processing-time greedy: heaviest shard
+      first onto the currently-lightest worker (ties broken by lowest
+      index on both sides, so placement is deterministic).
+    * a callable ``policy(loads, workers) -> assignment`` for custom
+      placement (validated for shape and range).
+    """
+    if workers <= 0:
+        raise ValueError(f"workers must be positive: {workers!r}")
+    if callable(policy):
+        assignment = [int(w) for w in policy(list(loads), workers)]
+        if len(assignment) != len(loads):
+            raise ValueError(
+                f"placement policy returned {len(assignment)} assignments"
+                f" for {len(loads)} shards"
+            )
+        for shard, worker in enumerate(assignment):
+            if not (0 <= worker < workers):
+                raise ValueError(
+                    f"placement policy put shard {shard} on worker"
+                    f" {worker}, outside [0, {workers})"
+                )
+        return assignment
+    if policy == "round-robin":
+        return [i % workers for i in range(len(loads))]
+    if policy == "balanced":
+        totals = [0] * workers
+        assignment = [0] * len(loads)
+        for shard in sorted(range(len(loads)), key=lambda i: (-loads[i], i)):
+            worker = min(range(workers), key=lambda w: (totals[w], w))
+            assignment[shard] = worker
+            totals[worker] += loads[shard]
+        return assignment
+    raise ValueError(f"unknown placement policy: {policy!r}")
+
+
+# ---------------------------------------------------------------------- #
+# The per-shard epoch engine
+# ---------------------------------------------------------------------- #
+
+class ShardRunner:
+    """One shard's farm plus its mailbox, outbox, and epoch driver.
+
+    The runner is the gateway's inter-shard port (the gateway duck-types
+    against :meth:`is_remote` and :meth:`send`) and the coordinator's
+    unit of work (:meth:`run_epoch`, :meth:`deposit`, :meth:`report`).
+
+    Parameters
+    ----------
+    index / config / shard_map / interlink:
+        This shard's position, farm config, the federation routing
+        table, and the protocol constants. When the map holds more than
+        one shard, the farm's containment policy is rebuilt over the
+        *federation-wide* inventory so reflection verdicts land anywhere
+        in the federation's dark space — identically in every process,
+        because the inventory layout derives from the shard spec alone.
+    worms:
+        ``(name, scan_rate)`` specs from
+        :data:`~repro.workloads.worms.KNOWN_WORMS`, registered against
+        this shard's farm. Spec-based (not behaviour objects) so the
+        identical registration happens inside worker processes.
+    recorder_capacity:
+        When positive, this shard runs under a private
+        :class:`~repro.obs.recorder.FlightRecorder` (installed only
+        while the shard executes, so shards never interleave events);
+        :meth:`report` then carries the per-shard event tally.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        config: HoneyfarmConfig,
+        shard_map: ShardMap,
+        interlink: InterShardConfig,
+        *,
+        personalities=None,
+        worms: Sequence[Tuple[str, float]] = (),
+        recorder_capacity: int = 0,
+    ) -> None:
+        if tuple(config.prefixes) != shard_map.shard_prefixes[index]:
+            raise ValueError(
+                f"shard {index} config prefixes {config.prefixes!r} disagree"
+                f" with the shard map {shard_map.shard_prefixes[index]!r}"
+            )
+        self.index = index
+        self.shard_map = shard_map
+        self.interlink = interlink
+        self.worm_specs: Tuple[Tuple[str, float], ...] = tuple(
+            (name, float(rate)) for name, rate in worms
+        )
+        self.farm = Honeyfarm(config, personalities=personalities)
+        if shard_map.shard_count > 1:
+            # Reflection over the whole federation, not just this shard:
+            # verdicts must be able to bounce a scan into a sibling's
+            # darknet or the seam between shards is fingerprintable.
+            self.farm.gateway.policy = make_policy(
+                config.containment,
+                shard_map.global_inventory,
+                config.outbound_rate_limit,
+            )
+            self.farm.gateway.intershard = self
+        self.sent = 0
+        self.outbox: List[ShardMessage] = []
+        self._mailbox: List[Tuple[float, int, int, bool, Tuple]] = []
+        self.recorder: Optional[FlightRecorder] = (
+            FlightRecorder(recorder_capacity) if recorder_capacity > 0 else None
+        )
+        for name, rate in self.worm_specs:
+            from repro.workloads.worms import KNOWN_WORMS
+
+            spec = KNOWN_WORMS[name].with_scan_rate(rate)
+            self.farm.register_worm(spec.behavior(config.dns_address()))
+
+    # -- gateway port ---------------------------------------------------- #
+
+    def is_remote(self, addr: IPAddress) -> bool:
+        """True when a *sibling* shard owns ``addr`` (not this shard and
+        not the external Internet)."""
+        shard = self.shard_map.shard_for(addr)
+        return shard is not None and shard != self.index
+
+    def send(self, packet: Packet, reply: bool) -> None:
+        """Queue one packet for its owning shard, due one cross-shard
+        latency from now. Called by the gateway after it has already
+        applied local NAT state; the packet crosses the boundary raw."""
+        dst_shard = self.shard_map.shard_for(packet.dst)
+        assert dst_shard is not None and dst_shard != self.index
+        now = self.farm.sim.now
+        self.sent += 1
+        self.outbox.append(ShardMessage(
+            send_time=now,
+            deliver_time=now + self.interlink.latency_seconds,
+            src_shard=self.index,
+            dst_shard=dst_shard,
+            seq=self.sent,
+            reply=reply,
+            wire=encode_packet(packet),
+        ))
+
+    # -- coordinator interface ------------------------------------------- #
+
+    def deposit(self, message: ShardMessage) -> None:
+        """Accept one inbound message (any epoch ahead of now)."""
+        if message.dst_shard != self.index:
+            raise ValueError(
+                f"shard {self.index} received a message for shard"
+                f" {message.dst_shard}"
+            )
+        heapq.heappush(self._mailbox, (
+            message.deliver_time, message.src_shard, message.seq,
+            message.reply, message.wire,
+        ))
+
+    def attach_records(self, records, batched: bool = True) -> int:
+        """Feed this shard's slice of the workload (pre-run only)."""
+        from repro.workloads.trace import replay_into_farm
+
+        return replay_into_farm(self.farm, records, batched=batched)
+
+    def attach_telescope(self, telescope, batched: bool = True) -> int:
+        """Generate and attach this shard's partition of a
+        :class:`~repro.workloads.telescope.PartitionedTelescope`."""
+        return self.attach_records(
+            telescope.build(self.index), batched=batched
+        )
+
+    def run_epoch(self, end: float) -> List[ShardMessage]:
+        """Schedule every message due by ``end``, run the farm to
+        ``end``, and hand back the epoch's outbound messages.
+
+        Due messages always schedule in the future: a message sent in
+        epoch ``k`` is due strictly after the epoch-``k`` barrier
+        (``deliver = send + latency > barrier`` because the epoch is no
+        wider than the latency), and the barrier is exactly where this
+        shard's clock stands when the message is deposited.
+        """
+        sim = self.farm.sim
+        gateway = self.farm.gateway
+        mailbox = self._mailbox
+        while mailbox and mailbox[0][0] <= end:
+            deliver, __, __, reply, wire = heapq.heappop(mailbox)
+            sim.schedule_at(
+                deliver, gateway.receive_intershard, decode_packet(wire), reply
+            )
+        if self.recorder is not None:
+            previous = _obs.active()
+            _obs.install(self.recorder)
+            try:
+                self.farm.run(until=end)
+            finally:
+                if previous is None:
+                    _obs.uninstall()
+                else:
+                    _obs.install(previous)
+        else:
+            self.farm.run(until=end)
+        out, self.outbox = self.outbox, []
+        return out
+
+    @property
+    def undelivered_messages(self) -> int:
+        """Messages still in the mailbox (due beyond the last barrier)."""
+        return len(self._mailbox)
+
+    # -- reporting -------------------------------------------------------- #
+
+    def report(self) -> Dict[str, Any]:
+        """This shard's complete observable outcome as primitives.
+
+        Everything a worker sends back rides through this dict, and the
+        worker-count invariance tests compare these dicts *verbatim* —
+        so every field must be deterministic protocol/farm state, never
+        process-local identity (vm ids, object ids, wall time).
+        """
+        from repro.analysis.recovery import packet_ledger
+
+        farm = self.farm
+        ledger = packet_ledger(farm)
+        nat = farm.gateway.nat
+        report: Dict[str, Any] = {
+            "shard": self.index,
+            "prefixes": list(farm.config.prefixes),
+            "sim_now": farm.sim.now,
+            "events_processed": farm.sim.events_processed,
+            "total_addresses": farm.inventory.total_addresses,
+            "live_vms": farm.live_vms,
+            "counters": dict(farm.metrics.counters()),
+            "infections": [
+                (r.time, str(r.victim), str(r.source), r.worm_name, r.generation)
+                for r in farm.infections
+            ],
+            "ledger": {
+                "packets_in": ledger.packets_in,
+                "delivered": ledger.delivered,
+                "emulated": ledger.emulated,
+                "refused": ledger.refused,
+                "dropped_by_cause": dict(ledger.dropped_by_cause),
+                "still_pending": ledger.still_pending,
+                "leaked": ledger.leaked,
+            },
+            "intershard": {
+                "sent": self.sent,
+                "received": farm.metrics.counters().get(
+                    "gateway.intershard_in", 0
+                ),
+                "undelivered": self.undelivered_messages,
+            },
+            "nat": {
+                "reply_translations": nat.translations,
+                "outbound_translations": nat.outbound_translations,
+                "entries": len(nat),
+            },
+        }
+        if self.recorder is not None:
+            report["recorder_events"] = event_tally(self.recorder)
+        return report
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ShardRunner shard={self.index}"
+            f" t={self.farm.sim.now:.1f}s sent={self.sent}"
+            f" mailbox={len(self._mailbox)}>"
+        )
+
+
+def run_epochs(
+    runners: Sequence[ShardRunner], until: float, lookahead: float
+) -> None:
+    """Drive a list of runners in lockstep epochs to ``until`` — the
+    reference coordinator loop. The multiprocess coordinator runs this
+    exact structure with a pipe between the two ``for`` bodies; keeping
+    the loop shapes identical is what makes the two lanes bit-equal.
+    """
+    if lookahead <= 0:
+        raise ValueError(f"lookahead must be positive: {lookahead!r}")
+    if not runners:
+        return
+    clock = runners[0].farm.sim.now
+    while clock < until:
+        end = min(clock + lookahead, until)
+        outbound: List[ShardMessage] = []
+        for runner in runners:
+            outbound.extend(runner.run_epoch(end))
+        for message in outbound:
+            runners[message.dst_shard].deposit(message)
+        clock = end

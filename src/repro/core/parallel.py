@@ -1,0 +1,385 @@
+"""The parallel federation: shard workers in separate processes.
+
+This is the scalability tentpole: N shard workers, each owning a full
+farm (gateway, hosts, ladder, batched event loop) in its own OS process,
+coordinated over pipes by a conservative time-stepped protocol (see
+:mod:`repro.core.intershard` and docs/FEDERATION.md). The coordinator's
+loop is the same lockstep-epoch structure as the in-process
+:func:`~repro.core.intershard.run_epochs` reference — run every shard to
+the barrier, exchange outboxes, advance — with a pipe round-trip where
+the reference has a function call. Workers run the identical
+:class:`~repro.core.intershard.ShardRunner` code, so for any worker
+count the results are bit-equal to the reference (the federation bench
+gates this on every run).
+
+Determinism does not depend on scheduling: each worker runs its shards
+in shard order within an epoch, messages are routed purely by the shard
+map, and each mailbox replays its messages in ``(deliver_time,
+src_shard, seq)`` order. The only nondeterminism between runs is wall
+time.
+
+Workers receive *specs*, not live objects: configs, prefix strings,
+worm names, telescope parameters, trace records — everything picklable
+and everything reconstructible to an identical farm in any process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import HoneyfarmConfig
+from repro.core.intershard import (
+    InterShardConfig,
+    ShardMessage,
+    ShardRunner,
+    assign_shards,
+)
+from repro.net.shardmap import ShardMap
+
+__all__ = ["FederationResult", "ParallelFederation"]
+
+#: Index of ``dst_shard`` in :meth:`ShardMessage.encode` tuples — the
+#: coordinator routes encoded messages without decoding packet bodies.
+_ENC_DST_SHARD = 4
+
+
+def _shard_worker(conn, payload: Dict[str, Any]) -> None:
+    """Worker main: build this worker's shards, then serve epochs.
+
+    Protocol (all tuples, coordinator -> worker unless noted):
+
+    * worker sends ``("ready", [shard indices])`` after construction;
+    * ``("epoch", end, inbound)`` — deposit the encoded inbound
+      messages, run every owned shard to ``end`` (shard order), answer
+      ``("done", outbound)`` with the epoch's encoded outbox;
+    * ``("deposit", inbound)`` — mailbox-only (the post-final-barrier
+      exchange that keeps undelivered accounting identical to the
+      reference), answer ``("done", [])``;
+    * ``("report",)`` — answer ``("reports", [shard report dicts])``;
+    * ``("stop",)`` — exit.
+
+    Any exception is shipped back as ``("error", formatted traceback)``.
+    """
+    try:
+        shard_map = ShardMap(payload["spec"])
+        interlink: InterShardConfig = payload["interlink"]
+        runners: Dict[int, ShardRunner] = {}
+        for index, config, records in payload["shards"]:
+            runner = ShardRunner(
+                index, config, shard_map, interlink,
+                worms=payload["worms"],
+                recorder_capacity=payload["recorder_capacity"],
+            )
+            if payload["telescope"] is not None:
+                runner.attach_telescope(
+                    payload["telescope"], batched=payload["batched"]
+                )
+            elif records is not None:
+                runner.attach_records(records, batched=payload["batched"])
+            runners[index] = runner
+        order = sorted(runners)
+        conn.send(("ready", order))
+        while True:
+            message = conn.recv()
+            op = message[0]
+            if op == "epoch":
+                __, end, inbound = message
+                for encoded in inbound:
+                    decoded = ShardMessage.decode(encoded)
+                    runners[decoded.dst_shard].deposit(decoded)
+                outbound: List[Tuple] = []
+                for index in order:
+                    outbound.extend(
+                        m.encode() for m in runners[index].run_epoch(end)
+                    )
+                conn.send(("done", outbound))
+            elif op == "deposit":
+                for encoded in message[1]:
+                    decoded = ShardMessage.decode(encoded)
+                    runners[decoded.dst_shard].deposit(decoded)
+                conn.send(("done", []))
+            elif op == "report":
+                conn.send(("reports", [runners[i].report() for i in order]))
+            elif op == "stop":
+                return
+            else:
+                raise ValueError(f"unknown coordinator op: {op!r}")
+    except Exception:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class FederationResult:
+    """Everything a parallel run reports, plus aggregate views.
+
+    ``reports`` (sorted by shard index) is the bit-equality surface: it
+    must compare equal across worker counts and against the in-process
+    reference's :meth:`~repro.core.federation.FederatedHoneyfarm.shard_reports`.
+    """
+
+    reports: List[Dict[str, Any]]
+    workers: int
+    assignment: List[int]
+    epochs: int
+    until: float
+    wall_seconds: float = 0.0
+    ledger_buckets: Tuple[str, ...] = field(
+        default=("packets_in", "delivered", "emulated", "refused",
+                 "still_pending"),
+        repr=False,
+    )
+
+    def aggregate_counters(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for report in self.reports:
+            for name, value in report["counters"].items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+    def infection_count(self) -> int:
+        return sum(len(r["infections"]) for r in self.reports)
+
+    def infections(self) -> List[Tuple]:
+        """All shards' infection tuples merged in time order."""
+        merged: List[Tuple] = []
+        for report in self.reports:
+            merged.extend(tuple(i) for i in report["infections"])
+        merged.sort()
+        return merged
+
+    def ledger_totals(self) -> Dict[str, int]:
+        totals = {bucket: 0 for bucket in self.ledger_buckets}
+        totals["dropped"] = 0
+        totals["leaked"] = 0
+        for report in self.reports:
+            ledger = report["ledger"]
+            for bucket in self.ledger_buckets:
+                totals[bucket] += ledger[bucket]
+            totals["dropped"] += sum(ledger["dropped_by_cause"].values())
+            totals["leaked"] += ledger["leaked"]
+        return totals
+
+    def intershard_totals(self) -> Dict[str, int]:
+        keys = ("sent", "received", "undelivered")
+        return {
+            key: sum(r["intershard"][key] for r in self.reports)
+            for key in keys
+        }
+
+    def assert_packet_conservation(self) -> Dict[str, int]:
+        """Mirror of the in-process federation's conservation check over
+        the shipped reports; returns the summed ledger on success."""
+        failures: List[str] = []
+        for report in self.reports:
+            if report["ledger"]["leaked"] != 0:
+                failures.append(
+                    f"shard {report['shard']} leaked"
+                    f" {report['ledger']['leaked']} packets"
+                )
+        totals = self.ledger_totals()
+        flows = self.intershard_totals()
+        if flows["sent"] != flows["received"] + flows["undelivered"]:
+            failures.append(
+                f"inter-shard messages: {flows['sent']} sent !="
+                f" {flows['received']} received +"
+                f" {flows['undelivered']} undelivered"
+            )
+        if failures:
+            raise AssertionError(
+                "parallel federation packet conservation violated: "
+                + "; ".join(failures)
+            )
+        return totals
+
+
+class ParallelFederation:
+    """Coordinator for one multiprocess federated run.
+
+    Parameters
+    ----------
+    shard_configs / interlink:
+        Per-shard farm configs (globally disjoint prefixes) and the
+        epoch protocol constants — the same inputs the in-process
+        reference takes.
+    workers:
+        Worker process count. Shards are placed by ``placement``; a
+        worker with no shards is simply never spawned, so any
+        ``workers >= 1`` is valid for any shard count.
+    telescope / shard_records:
+        The workload, exactly one of: a picklable
+        :class:`~repro.workloads.telescope.PartitionedTelescope` each
+        worker expands for its own shards, or one explicit
+        ``TraceRecord`` list per shard. (No workload is also legal —
+        worm-only experiments seed via records.)
+    worms:
+        ``(name, scan_rate)`` specs registered on every shard.
+    placement:
+        ``"balanced"`` (default), ``"round-robin"``, or a callable —
+        see :func:`~repro.core.intershard.assign_shards`. The placement
+        affects wall time only, never results.
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork``
+        (cheap on Linux) and falls back to whatever the platform has.
+    """
+
+    def __init__(
+        self,
+        shard_configs: Sequence[HoneyfarmConfig],
+        interlink: InterShardConfig,
+        workers: int,
+        *,
+        telescope=None,
+        shard_records: Optional[Sequence[Optional[list]]] = None,
+        worms: Sequence[Tuple[str, float]] = (),
+        placement: Union[str, Callable] = "balanced",
+        batched: bool = True,
+        shard_recorder_capacity: int = 0,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError(f"workers must be positive: {workers!r}")
+        if telescope is not None and shard_records is not None:
+            raise ValueError("pass telescope or shard_records, not both")
+        self.shard_configs = list(shard_configs)
+        self.shard_map = ShardMap.from_configs(self.shard_configs)  # validates
+        if telescope is not None and telescope.shard_count != len(self.shard_configs):
+            raise ValueError(
+                f"telescope has {telescope.shard_count} partitions for"
+                f" {len(self.shard_configs)} shards"
+            )
+        if shard_records is not None and len(shard_records) != len(self.shard_configs):
+            raise ValueError(
+                f"got {len(shard_records)} record lists for"
+                f" {len(self.shard_configs)} shards"
+            )
+        self.interlink = interlink
+        self.workers = workers
+        self.telescope = telescope
+        self.shard_records = shard_records
+        self.worms = tuple((name, float(rate)) for name, rate in worms)
+        self.batched = batched
+        self.shard_recorder_capacity = shard_recorder_capacity
+        if start_method is None:
+            methods = mp.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.start_method = start_method
+        loads = [
+            self.shard_map.addresses_of(i)
+            for i in range(self.shard_map.shard_count)
+        ]
+        self.assignment = assign_shards(loads, workers, placement)
+        self._ran = False
+
+    def _payload_for(self, worker: int) -> Dict[str, Any]:
+        shards = []
+        for index, owner in enumerate(self.assignment):
+            if owner != worker:
+                continue
+            records = (
+                self.shard_records[index]
+                if self.shard_records is not None else None
+            )
+            shards.append((index, self.shard_configs[index], records))
+        return {
+            "spec": self.shard_map.spec(),
+            "interlink": self.interlink,
+            "shards": shards,
+            "telescope": self.telescope,
+            "worms": self.worms,
+            "batched": self.batched,
+            "recorder_capacity": self.shard_recorder_capacity,
+        }
+
+    @staticmethod
+    def _recv(conn, worker: int):
+        message = conn.recv()
+        if message[0] == "error":
+            raise RuntimeError(
+                f"federation worker {worker} failed:\n{message[1]}"
+            )
+        return message[1]
+
+    def run(self, until: float) -> FederationResult:
+        """Execute the lockstep run to ``until`` and collect reports.
+
+        One-shot: the workers' farms end with the run, so a second call
+        would silently restart from zero — rejected instead.
+        """
+        if self._ran:
+            raise ValueError("a ParallelFederation instance runs once")
+        self._ran = True
+        ctx = mp.get_context(self.start_method)
+        active = sorted(set(self.assignment))
+        processes: Dict[int, Any] = {}
+        conns: Dict[int, Any] = {}
+        t0 = time.perf_counter()
+        try:
+            for worker in active:
+                parent_conn, child_conn = ctx.Pipe()
+                process = ctx.Process(
+                    target=_shard_worker,
+                    args=(child_conn, self._payload_for(worker)),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                processes[worker] = process
+                conns[worker] = parent_conn
+            for worker in active:
+                self._recv(conns[worker], worker)  # ready
+            lookahead = self.interlink.lookahead
+            pending: Dict[int, List[Tuple]] = {w: [] for w in active}
+            clock, epochs = 0.0, 0
+            while clock < until:
+                end = min(clock + lookahead, until)
+                for worker in active:
+                    conns[worker].send(("epoch", end, pending[worker]))
+                    pending[worker] = []
+                for worker in active:
+                    for encoded in self._recv(conns[worker], worker):
+                        owner = self.assignment[encoded[_ENC_DST_SHARD]]
+                        pending[owner].append(encoded)
+                clock = end
+                epochs += 1
+            # Final-epoch sends are all due past ``until`` (the epoch is
+            # narrower than the latency); park them in their owners'
+            # mailboxes so undelivered accounting matches the reference.
+            for worker in active:
+                conns[worker].send(("deposit", pending[worker]))
+                pending[worker] = []
+            for worker in active:
+                self._recv(conns[worker], worker)
+            reports: List[Dict[str, Any]] = []
+            for worker in active:
+                conns[worker].send(("report",))
+            for worker in active:
+                reports.extend(self._recv(conns[worker], worker))
+            for worker in active:
+                conns[worker].send(("stop",))
+            for worker in active:
+                processes[worker].join(timeout=30)
+        finally:
+            for process in processes.values():
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=5)
+            for conn in conns.values():
+                conn.close()
+        reports.sort(key=lambda r: r["shard"])
+        return FederationResult(
+            reports=reports,
+            workers=self.workers,
+            assignment=list(self.assignment),
+            epochs=epochs,
+            until=until,
+            wall_seconds=time.perf_counter() - t0,
+        )

@@ -8,9 +8,19 @@ the zero-overhead-when-disabled contract.
 from repro.obs.recorder import (
     FlightRecorder,
     active,
+    event_tally,
     install,
+    merge_tallies,
     recording,
     uninstall,
 )
 
-__all__ = ["FlightRecorder", "active", "install", "recording", "uninstall"]
+__all__ = [
+    "FlightRecorder",
+    "active",
+    "event_tally",
+    "install",
+    "merge_tallies",
+    "recording",
+    "uninstall",
+]

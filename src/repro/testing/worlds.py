@@ -17,14 +17,16 @@ sees the same *content*, which is exactly what the digest captures.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.analysis.recovery import packet_ledger
 from repro.baselines.responder import StatelessResponder
+from repro.core.federation import FederatedHoneyfarm
 from repro.core.honeyfarm import Honeyfarm
+from repro.core.intershard import InterShardConfig
 from repro.faults.injectors import ChaosController
-from repro.net.addr import AddressSpaceInventory, Prefix
+from repro.net.addr import AddressSpaceInventory, IPAddress, Prefix
 from repro.obs import FlightRecorder, install, uninstall
 from repro.services.personality import default_registry
 from repro.testing.scenario import Scenario
@@ -50,6 +52,11 @@ COOLDOWN_SECONDS = 5.0
 #: rate-independent).
 IN_FARM_SCAN_RATE = 2.0
 
+#: Cross-shard hop latency for the federation world: generous relative
+#: to scenario durations so each run exercises several lockstep epochs
+#: without dominating the packet timings the digest ignores anyway.
+FEDERATION_LATENCY = 0.5
+
 #: A timing-free packet identity: (src, dst, protocol, src_port,
 #: dst_port, flags, payload).
 PacketKey = Tuple[str, str, int, int, int, int, str]
@@ -66,7 +73,7 @@ class WorldSpec:
     """
 
     name: str
-    kind: str = "farm"  # "farm" | "responder"
+    kind: str = "farm"  # "farm" | "responder" | "federation"
     clone_mode: str = "flash"
     containment: Optional[str] = None
     content_sharing: Optional[bool] = None
@@ -184,6 +191,8 @@ def run_world(
         trace = scenario.build_trace()
     if spec.kind == "responder":
         return _run_responder(scenario, spec, trace)
+    if spec.kind == "federation":
+        return _run_federation(scenario, spec, trace)
     return _run_farm(scenario, spec, trace, recorder_capacity)
 
 
@@ -270,6 +279,97 @@ def _run_farm(
     obs.still_pending = ledger.still_pending
     obs.leaked = ledger.leaked
     obs.emulated = ledger.emulated
+    return obs
+
+
+def _run_federation(
+    scenario: Scenario, spec: WorldSpec, trace: List[TraceRecord]
+) -> WorldObservation:
+    """Run the scenario through a two-shard interlinked federation.
+
+    The scenario's prefix splits into two half-shards, each owned by its
+    own :class:`~repro.core.intershard.ShardRunner`, with the shared
+    trace routed record-by-record to the owning shard. Not part of the
+    default matrix (cross-shard hop latency legitimately shifts packet
+    timings, and the private per-shard clocks would trip the recorder's
+    global-monotonicity oracle), but differential drills can pit it
+    against the single-farm worlds on the timing-free digest.
+    """
+    whole = Prefix.parse(scenario.prefix)
+    if whole.length > 30:
+        raise ValueError(f"prefix {whole} too small to split into shards")
+    halves = (
+        Prefix(whole.first, whole.length + 1),
+        Prefix(whole.first.offset(whole.size // 2), whole.length + 1),
+    )
+    base = scenario.farm_config(
+        clone_mode=spec.clone_mode,
+        containment=spec.containment,
+        content_sharing=spec.content_sharing,
+        ladder=spec.ladder,
+    )
+    configs = [
+        replace(base, prefixes=(str(half),), seed=base.seed + shard)
+        for shard, half in enumerate(halves)
+    ]
+    worms = tuple(
+        (name, min(worm.scan_rate, IN_FARM_SCAN_RATE))
+        for name, worm in sorted(KNOWN_WORMS.items())
+    )
+    federation = FederatedHoneyfarm(
+        configs,
+        interlink=InterShardConfig(latency_seconds=FEDERATION_LATENCY),
+        worms=worms,
+    )
+
+    escaped: List[PacketKey] = []
+    for member in federation.members:
+        member.gateway.external_sink = (
+            lambda packet: escaped.append(_packet_key(packet))
+        )
+
+    shard_records: List[List[TraceRecord]] = [[], []]
+    for record in trace:
+        dst = IPAddress.parse(record.dst)
+        for shard, half in enumerate(halves):
+            if half.contains(dst):
+                shard_records[shard].append(record)
+                break
+    for shard, records in enumerate(shard_records):
+        federation.attach_shard_records(shard, records, batched=spec.batched)
+
+    end_time = scenario.duration + COOLDOWN_SECONDS
+    federation.run(until=end_time)
+
+    obs = WorldObservation(
+        world=spec.name,
+        kind="federation",
+        clone_mode=base.clone_mode,
+        containment=base.containment,
+        content_sharing=base.content_sharing,
+        sim_now=federation.now,
+        end_time=end_time,
+        live_vms=federation.live_vms,
+        counters=federation.aggregate_counters(),
+    )
+    obs.infections = sorted(
+        (str(r.victim), r.worm_name, r.generation)
+        for r in federation.infections()
+    )
+    obs.external_packets = sorted(escaped)
+    try:
+        ledger = federation.assert_packet_conservation()
+    except AssertionError as exc:  # the oracle reports, never raises
+        obs.frame_error = f"{type(exc).__name__}: {exc}"
+        ledger = federation.federation_ledger()
+    obs.packets_in = ledger.packets_in
+    obs.delivered = ledger.delivered
+    obs.refused = ledger.refused
+    obs.dropped_by_cause = dict(ledger.dropped_by_cause)
+    obs.still_pending = ledger.still_pending
+    obs.leaked = sum(l.leaked for l in federation.member_ledgers())
+    obs.emulated = ledger.emulated
+    obs.pressure_evictions = obs.counters.get("farm.pressure_evictions", 0)
     return obs
 
 

@@ -47,7 +47,12 @@ from repro.net.packet import PROTO_TCP, PROTO_UDP
 from repro.sim.rand import RandomStream, SeedSequence
 from repro.workloads.trace import TraceRecord
 
-__all__ = ["PortProfile", "TelescopeConfig", "TelescopeWorkload"]
+__all__ = [
+    "PartitionedTelescope",
+    "PortProfile",
+    "TelescopeConfig",
+    "TelescopeWorkload",
+]
 
 #: (protocol, port, weight, exploit_tag or None) — the hot-port mix.
 DEFAULT_PORT_MIX: Tuple[Tuple[int, int, float, Optional[str]], ...] = (
@@ -368,3 +373,75 @@ class TelescopeWorkload:
             f"<TelescopeWorkload {self.inventory.total_addresses} addrs"
             f" ~{self.expected_packets_per_second():.0f} pps>"
         )
+
+
+@dataclass(frozen=True)
+class PartitionedTelescope:
+    """Per-shard telescope generation for a federated run.
+
+    In deployment each /16's background radiation arrives through its
+    own GRE tunnel, independent of the others — so the federated
+    workload is one telescope *per shard*, over that shard's prefixes
+    only, with a shard-derived seed
+    (``SeedSequence(seed).spawn("shard-<i>")``). A shard's partition
+    depends only on ``(config, shard_prefixes[i], i)``: any process —
+    the in-process reference or any worker layout — generates the
+    bit-identical trace for shard ``i``, which is what lets workers
+    build their own slices from this picklable spec instead of shipping
+    packet lists around.
+
+    Source rates scale per shard exactly as :class:`TelescopeWorkload`
+    scales with telescope size (``sources_per_second_per_slash16`` times
+    the shard's /16 equivalents). Cross-shard traffic is *not* generated
+    here; it arises inside the farm from federation-wide reflection.
+    """
+
+    shard_prefixes: Tuple[Tuple[str, ...], ...]
+    duration: float
+    config: TelescopeConfig = TelescopeConfig()
+    max_records_per_shard: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.shard_prefixes:
+            raise ValueError("a partitioned telescope needs shards")
+        object.__setattr__(self, "shard_prefixes", tuple(
+            tuple(prefixes) for prefixes in self.shard_prefixes
+        ))
+        for shard, prefixes in enumerate(self.shard_prefixes):
+            if not prefixes:
+                raise ValueError(f"shard {shard} has no prefixes")
+            for text in prefixes:
+                Prefix.parse(text)  # validate eagerly
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive: {self.duration!r}")
+        if self.max_records_per_shard is not None and self.max_records_per_shard <= 0:
+            raise ValueError(
+                "max_records_per_shard must be positive or None:"
+                f" {self.max_records_per_shard!r}"
+            )
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shard_prefixes)
+
+    def shard_config(self, shard: int) -> TelescopeConfig:
+        """The per-shard telescope config: same knobs, derived seed."""
+        from dataclasses import replace
+
+        return replace(
+            self.config,
+            seed=SeedSequence(self.config.seed).spawn(f"shard-{shard}").root_seed,
+        )
+
+    def build(self, shard: int) -> List[TraceRecord]:
+        """Shard ``shard``'s complete trace (deterministic, process-free)."""
+        workload = TelescopeWorkload(
+            [Prefix.parse(text) for text in self.shard_prefixes[shard]],
+            self.shard_config(shard),
+        )
+        return workload.generate(
+            self.duration, max_records=self.max_records_per_shard
+        )
+
+    def build_all(self) -> List[List[TraceRecord]]:
+        return [self.build(shard) for shard in range(self.shard_count)]

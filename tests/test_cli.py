@@ -64,6 +64,23 @@ class TestConcurrency:
         assert "7" in out
 
 
+class TestFederation:
+    def test_parallel_run_reports_and_conserves(self, capsys):
+        assert main(["federation", "--shards", "2", "--workers", "2",
+                     "--duration", "6", "--max-packets", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-shard outcome" in out
+        assert "packet conservation holds" in out
+        assert "10.16.0.64/26" in out
+
+    def test_reference_lane(self, capsys):
+        assert main(["federation", "--shards", "2", "--workers", "0",
+                     "--duration", "6", "--max-packets", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "in-process reference" in out
+        assert "packet conservation holds" in out
+
+
 class TestParser:
     def test_command_required(self):
         with pytest.raises(SystemExit):
@@ -71,6 +88,6 @@ class TestParser:
 
     def test_all_subcommands_registered(self):
         parser = build_parser()
-        for command in ("demo", "telescope", "concurrency"):
+        for command in ("demo", "telescope", "concurrency", "federation"):
             args = parser.parse_args([command] if command == "demo" else [command])
             assert args.command == command

@@ -144,6 +144,25 @@ def test_run_world_is_deterministic() -> None:
     assert one.event_counts == two.event_counts
 
 
+@pytest.mark.slow
+def test_federation_world_conserves_and_is_deterministic() -> None:
+    """The two-shard interlinked world (not in the default matrix): the
+    scenario's trace splits across shard halves, cross-shard reflection
+    carries traffic between them, and conservation holds globally."""
+    scenario = Scenario(seed=5, containment="reflect")
+    trace = scenario.build_trace()
+    spec = WorldSpec("fed", kind="federation")
+    one = run_world(scenario, spec, trace=trace)
+    assert one.kind == "federation"
+    assert one.frame_error is None, one.frame_error
+    assert one.leaked == 0
+    assert one.counters.get("gateway.intershard_out", 0) > 0
+    assert one.counters.get("gateway.intershard_in", 0) > 0
+    two = run_world(scenario, spec, trace=trace)
+    assert one.counters == two.counters
+    assert one.digest() == two.digest()
+
+
 # --------------------------------------------------------------------- #
 # Oracles
 # --------------------------------------------------------------------- #

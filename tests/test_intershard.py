@@ -1,0 +1,245 @@
+"""Tests for the inter-shard message layer primitives.
+
+Wire codec round-trips, protocol-constant validation, the federation
+routing table (:class:`ShardMap`), shard->worker placement, and the
+mailbox's deterministic delivery order.
+"""
+
+import pytest
+
+from repro.core.config import HoneyfarmConfig
+from repro.core.intershard import (
+    WIRE_VERSION,
+    InterShardConfig,
+    ShardMessage,
+    ShardRunner,
+    assign_shards,
+    decode_packet,
+    encode_packet,
+)
+from repro.net.addr import IPAddress
+from repro.net.packet import TcpFlags, icmp_packet, tcp_packet, udp_packet
+from repro.net.shardmap import ShardMap
+
+A = IPAddress.parse("10.16.0.5")
+B = IPAddress.parse("10.16.0.70")
+EXTERNAL = IPAddress.parse("198.51.100.9")
+
+
+def shard_config(prefix, seed=11):
+    return HoneyfarmConfig(
+        prefixes=(prefix,), num_hosts=1, clone_jitter=0.0,
+        containment="reflect", seed=seed,
+    )
+
+
+def same_wire_fields(left, right):
+    """Field equality on everything the wire carries (``packet_id`` is
+    process-local identity and deliberately not serialized)."""
+    return encode_packet(left) == encode_packet(right)
+
+
+class TestWireCodec:
+    def test_tcp_roundtrip(self):
+        packet = tcp_packet(EXTERNAL, A, 3222, 445,
+                            flags=TcpFlags.SYN | TcpFlags.ACK,
+                            payload="exploit:blaster", size=777)
+        decoded = decode_packet(encode_packet(packet))
+        assert same_wire_fields(decoded, packet)
+        assert decoded.flags == TcpFlags.SYN | TcpFlags.ACK
+        assert decoded.payload == "exploit:blaster"
+        assert decoded.size == 777
+
+    def test_udp_roundtrip(self):
+        packet = udp_packet(A, EXTERNAL, 1434, 1434, payload="exploit:slammer")
+        decoded = decode_packet(encode_packet(packet))
+        assert same_wire_fields(decoded, packet)
+        assert decoded.src == A and decoded.dst == EXTERNAL
+
+    def test_icmp_roundtrip(self):
+        packet = icmp_packet(EXTERNAL, A)
+        decoded = decode_packet(encode_packet(packet))
+        assert same_wire_fields(decoded, packet)
+        assert decoded.is_icmp and decoded.icmp_type == packet.icmp_type
+
+    def test_ttl_survives_the_wire(self):
+        packet = tcp_packet(EXTERNAL, A, 1, 80).decremented_ttl()
+        decoded = decode_packet(encode_packet(packet))
+        assert decoded.ttl == packet.ttl
+
+    def test_decoded_packet_is_fresh_object(self):
+        packet = tcp_packet(EXTERNAL, A, 1, 80)
+        decoded = decode_packet(encode_packet(packet))
+        assert decoded is not packet
+        assert same_wire_fields(decoded, packet)
+
+    def test_message_roundtrip(self):
+        message = ShardMessage(
+            send_time=1.5, deliver_time=2.0, src_shard=0, dst_shard=1,
+            seq=7, reply=True, wire=encode_packet(udp_packet(A, B, 9, 53)),
+        )
+        assert ShardMessage.decode(message.encode()) == message
+
+    def test_message_version_checked(self):
+        message = ShardMessage(0.0, 0.5, 0, 1, 1, False,
+                               encode_packet(udp_packet(A, B, 9, 53)))
+        encoded = (WIRE_VERSION + 1,) + message.encode()[1:]
+        with pytest.raises(ValueError, match="version"):
+            ShardMessage.decode(encoded)
+
+
+class TestInterShardConfig:
+    def test_default_lookahead_is_latency(self):
+        assert InterShardConfig(latency_seconds=0.25).lookahead == 0.25
+
+    def test_explicit_lookahead(self):
+        config = InterShardConfig(latency_seconds=0.5, epoch_lookahead=0.1)
+        assert config.lookahead == 0.1
+
+    @pytest.mark.parametrize("latency", [0.0, -1.0])
+    def test_nonpositive_latency_rejected(self, latency):
+        with pytest.raises(ValueError, match="latency"):
+            InterShardConfig(latency_seconds=latency)
+
+    def test_lookahead_wider_than_latency_rejected(self):
+        """A message sent late in an over-wide epoch would be due before
+        the barrier that carries it — the conservative invariant breaks."""
+        with pytest.raises(ValueError, match="exceed"):
+            InterShardConfig(latency_seconds=0.5, epoch_lookahead=0.6)
+
+    def test_nonpositive_lookahead_rejected(self):
+        with pytest.raises(ValueError, match="lookahead"):
+            InterShardConfig(latency_seconds=0.5, epoch_lookahead=0.0)
+
+
+class TestShardMap:
+    def setup_method(self):
+        self.shard_map = ShardMap((
+            ("10.16.0.0/26",), ("10.16.0.64/26",), ("10.17.0.0/24",),
+        ))
+
+    def test_shard_for(self):
+        assert self.shard_map.shard_for(A) == 0
+        assert self.shard_map.shard_for(B) == 1
+        assert self.shard_map.shard_for(IPAddress.parse("10.17.0.200")) == 2
+        assert self.shard_map.shard_for(EXTERNAL) is None
+
+    def test_covers(self):
+        assert self.shard_map.covers(A)
+        assert not self.shard_map.covers(EXTERNAL)
+
+    def test_addresses_of(self):
+        assert self.shard_map.addresses_of(0) == 64
+        assert self.shard_map.addresses_of(2) == 256
+
+    def test_global_inventory_spans_all_shards(self):
+        assert self.shard_map.global_inventory.total_addresses == 64 + 64 + 256
+
+    def test_spec_roundtrip(self):
+        rebuilt = ShardMap(self.shard_map.spec())
+        assert rebuilt.spec() == self.shard_map.spec()
+        assert rebuilt.shard_for(B) == 1
+
+    def test_overlapping_shards_rejected(self):
+        with pytest.raises(ValueError):
+            ShardMap((("10.16.0.0/24",), ("10.16.0.128/26",)))
+
+    def test_from_configs(self):
+        shard_map = ShardMap.from_configs([
+            shard_config("10.16.0.0/26"), shard_config("10.16.0.64/26"),
+        ])
+        assert shard_map.shard_count == 2
+        assert shard_map.shard_for(B) == 1
+
+
+class TestAssignShards:
+    def test_round_robin(self):
+        assert assign_shards([10, 10, 10], 2, "round-robin") == [0, 1, 0]
+
+    def test_balanced_spreads_heavy_shards(self):
+        # LPT: 8 -> w0, 6 -> w1, 4 -> w1 (10 vs 8), 2 -> w0.
+        assert assign_shards([8, 6, 4, 2], 2, "balanced") == [0, 1, 1, 0]
+
+    def test_balanced_is_deterministic_under_ties(self):
+        first = assign_shards([5, 5, 5, 5], 2, "balanced")
+        assert first == assign_shards([5, 5, 5, 5], 2, "balanced")
+        assert sorted(first.count(w) for w in (0, 1)) == [2, 2]
+
+    def test_callable_policy(self):
+        assert assign_shards([1, 2], 3, lambda loads, n: [2, 0]) == [2, 0]
+
+    def test_callable_policy_shape_checked(self):
+        with pytest.raises(ValueError, match="assignments"):
+            assign_shards([1, 2], 2, lambda loads, n: [0])
+
+    def test_callable_policy_range_checked(self):
+        with pytest.raises(ValueError, match="outside"):
+            assign_shards([1, 2], 2, lambda loads, n: [0, 5])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown placement"):
+            assign_shards([1], 1, "hash")
+
+    def test_nonpositive_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            assign_shards([1], 0)
+
+
+class TestShardRunnerMailbox:
+    def make_runner(self):
+        configs = [shard_config("10.16.0.0/26", seed=11),
+                   shard_config("10.16.0.64/26", seed=12)]
+        shard_map = ShardMap.from_configs(configs)
+        interlink = InterShardConfig(latency_seconds=0.25)
+        return ShardRunner(1, configs[1], shard_map, interlink)
+
+    def message(self, deliver, src_shard, seq, port):
+        return ShardMessage(
+            send_time=deliver - 0.25, deliver_time=deliver,
+            src_shard=src_shard, dst_shard=1, seq=seq, reply=False,
+            wire=encode_packet(udp_packet(A, B, 5000 + seq, port)),
+        )
+
+    def test_deposit_rejects_foreign_messages(self):
+        runner = self.make_runner()
+        with pytest.raises(ValueError, match="for shard 0"):
+            runner.deposit(ShardMessage(0.0, 0.25, 1, 0, 1, False,
+                                        encode_packet(udp_packet(B, A, 1, 53))))
+
+    def test_delivery_order_is_protocol_state(self):
+        """Deposit order never matters: the mailbox key (deliver_time,
+        src_shard, seq) fixes delivery, so OS scheduling of the exchange
+        cannot perturb the simulation."""
+        deposits = [
+            self.message(0.50, src_shard=0, seq=2, port=445),
+            self.message(0.25, src_shard=2, seq=1, port=446),
+            self.message(0.25, src_shard=0, seq=3, port=447),
+            self.message(0.25, src_shard=0, seq=1, port=448),
+        ]
+        orders = []
+        for permutation in (deposits, deposits[::-1]):
+            runner = self.make_runner()
+            delivered = []
+            runner.farm.gateway.receive_intershard = (
+                lambda packet, reply, log=delivered: log.append(packet.dst_port)
+            )
+            for message in permutation:
+                runner.deposit(message)
+            runner.run_epoch(1.0)
+            orders.append(delivered)
+        assert orders[0] == orders[1] == [448, 447, 446, 445]
+
+    def test_messages_beyond_epoch_stay_queued(self):
+        runner = self.make_runner()
+        runner.deposit(self.message(0.9, src_shard=0, seq=1, port=445))
+        runner.run_epoch(0.5)
+        assert runner.undelivered_messages == 1
+        runner.run_epoch(1.0)
+        assert runner.undelivered_messages == 0
+
+    def test_runner_validates_prefixes_against_map(self):
+        configs = [shard_config("10.16.0.0/26"), shard_config("10.16.0.64/26")]
+        shard_map = ShardMap.from_configs(configs)
+        with pytest.raises(ValueError, match="disagree"):
+            ShardRunner(0, configs[1], shard_map,
+                        InterShardConfig(latency_seconds=0.25))
