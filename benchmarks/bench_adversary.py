@@ -1,0 +1,167 @@
+"""Adversary-vs-deception benchmark: does the farm stay believable?
+
+The containment/fidelity stack only earns captures from attackers who
+don't realize they're attacking a honeyfarm. This bench runs the
+:mod:`repro.adversary` experiment matrix — fingerprinting scanners at
+sophistication tiers 0-3 plus a staged botnet campaign, each against a
+fresh farm with the deception defense off and then on — and gates on the
+paper-style headline:
+
+* **capture-rate gate** — captures from *fingerprinting* scanners
+  (tiers >= 2) are strictly higher with deception on than off at equal
+  seeds: without deception they read the farm's monoculture and
+  machine-identical reply timing and abort before committing malware;
+  with personality/jitter randomization the passive tells vanish.
+* **abort expectations** — with deception off, every tier >= 2 scanner
+  aborts during recon; with deception on, tier 2 proceeds to exploit.
+* **containment holds both arms** — the tier-3 containment-echo test
+  still works with deception on under reflect (deception must not open
+  containment to win believability).
+* **determinism gate** — the whole experiment, run twice at the bench
+  seed, produces byte-identical reports.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_adversary.py [--smoke]
+
+Results land in ``benchmarks/reports/BENCH_adversary.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.adversary import (
+    FINGERPRINT_TIERS,
+    experiment_digest,
+    run_adversary_experiment,
+)
+
+REPORT_DIR = Path(__file__).resolve().parent / "reports"
+
+BENCH_SEED = 20260809
+TIERS = (0, 1, 2, 3)
+
+
+def check_criteria(result: Dict[str, Any]) -> List[str]:
+    failures: List[str] = []
+    off, on = result["arms"]["off"], result["arms"]["on"]
+
+    fp_off = off["fingerprint_captures"]
+    fp_on = on["fingerprint_captures"]
+    if not fp_on > fp_off:
+        failures.append(
+            f"deception did not raise fingerprint-tier captures:"
+            f" on={fp_on} vs off={fp_off} (must be strictly higher)"
+        )
+
+    for tier in FINGERPRINT_TIERS:
+        scanner = off["scanners"][str(tier)]
+        if scanner["verdict"] != "aborted" or scanner["abort_stage"] != "recon":
+            failures.append(
+                f"deception-off tier-{tier} scanner should abort at recon,"
+                f" got {scanner['verdict']}/{scanner['abort_stage']}"
+            )
+    tier2_on = on["scanners"]["2"]
+    if tier2_on["verdict"] != "completed":
+        failures.append(
+            f"deception-on tier-2 scanner should complete, got"
+            f" {tier2_on['verdict']} at {tier2_on['abort_stage']}"
+        )
+    tier3_on = on["scanners"]["3"]
+    if tier3_on["abort_stage"] != "echo":
+        failures.append(
+            "deception-on tier-3 scanner should still catch the"
+            f" containment echo under reflect, got {tier3_on['verdict']}/"
+            f"{tier3_on['abort_stage']}"
+        )
+
+    for arm_key, arm in result["arms"].items():
+        for tier, scanner in arm["scanners"].items():
+            if scanner["verdict"] is None:
+                failures.append(
+                    f"{arm_key} tier-{tier} scanner has no terminal verdict"
+                )
+        if "botnet" in arm and arm["botnet"]["verdict"] is None:
+            failures.append(f"{arm_key} botnet has no terminal verdict")
+    return failures
+
+
+def run_bench(smoke: bool = False) -> Dict[str, Any]:
+    duration = 12.0 if smoke else 20.0
+    num_targets = 6 if smoke else 8
+
+    first = run_adversary_experiment(
+        seed=BENCH_SEED, tiers=TIERS, duration=duration,
+        num_targets=num_targets,
+    )
+    second = run_adversary_experiment(
+        seed=BENCH_SEED, tiers=TIERS, duration=duration,
+        num_targets=num_targets,
+    )
+    digest = experiment_digest(first)
+    failures = check_criteria(first)
+    if digest != experiment_digest(second):
+        failures.append("experiment is not deterministic at equal seeds")
+
+    return {
+        "config": {
+            "smoke": smoke,
+            "seed": BENCH_SEED,
+            "duration_seconds": duration,
+            "num_targets": num_targets,
+            "tiers": list(TIERS),
+            "fingerprint_tiers": list(FINGERPRINT_TIERS),
+            "containment": first["containment"],
+        },
+        "arms": first["arms"],
+        "headline": first["headline"],
+        "digest": digest,
+        "failures": failures,
+        "passed": not failures,
+    }
+
+
+def write_bench(smoke: bool = False) -> Path:
+    REPORT_DIR.mkdir(exist_ok=True)
+    started = time.perf_counter()
+    doc = run_bench(smoke=smoke)
+    doc["wall_seconds"] = round(time.perf_counter() - started, 3)
+    out = REPORT_DIR / "BENCH_adversary.json"
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="shorter agent windows for CI")
+    args = parser.parse_args(argv)
+    out = write_bench(smoke=args.smoke)
+    doc = json.loads(out.read_text())
+    print(f"wrote {out}")
+    for arm_key in ("off", "on"):
+        arm = doc["arms"][arm_key]
+        verdicts = {
+            tier: f"{s['verdict']}({len(s['captures'])})"
+            for tier, s in sorted(arm["scanners"].items())
+        }
+        print(f"  deception {arm_key}: {verdicts}"
+              f" fingerprint_captures={arm['fingerprint_captures']}")
+    print(f"  digest: {doc['digest'][:16]}  wall: {doc['wall_seconds']}s")
+    if doc["failures"]:
+        for failure in doc["failures"]:
+            print(f"ERROR: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,47 @@
+"""Adversarial attacker models and the adaptive deception defense.
+
+The package closes the loop the paper leaves open: Potemkin's value
+depends on attackers *not* noticing they are in a honeyfarm, so this
+layer models the attackers who try (fingerprinting scanners scoring
+simulation tells, multi-stage botnet campaigns) and the defense that
+answers them (seed-deterministic per-VM personality randomization plus
+egress reply jitter). ``experiment`` ties both into the headline
+dwell-time / capture-rate comparison the benchmark gates on.
+"""
+
+from repro.adversary.base import AdversaryAgent, AdversaryReport
+from repro.adversary.botnet import BotnetCampaign
+from repro.adversary.deception import DeceptionController
+from repro.adversary.experiment import (
+    FINGERPRINT_TIERS,
+    experiment_digest,
+    run_adversary_experiment,
+)
+from repro.adversary.fingerprint import FingerprintScanner
+from repro.adversary.tells import (
+    ABORT_THRESHOLD,
+    Tell,
+    TellScore,
+    clone_latency_tell,
+    containment_echo_tell,
+    identity_tell,
+    timing_variance_tell,
+)
+
+__all__ = [
+    "ABORT_THRESHOLD",
+    "AdversaryAgent",
+    "AdversaryReport",
+    "BotnetCampaign",
+    "DeceptionController",
+    "FINGERPRINT_TIERS",
+    "FingerprintScanner",
+    "Tell",
+    "TellScore",
+    "clone_latency_tell",
+    "containment_echo_tell",
+    "experiment_digest",
+    "identity_tell",
+    "run_adversary_experiment",
+    "timing_variance_tell",
+]

@@ -1,0 +1,110 @@
+"""Defense-side deception controller.
+
+The controller is the operator-facing facade over the
+:class:`~repro.core.config.DeceptionConfig` block: it turns deception on
+for a farm config and introspects what the randomization actually
+presents to an attacker (personality distribution across a prefix,
+per-address jitter spread). The mechanisms themselves live where the
+packets flow — personality selection in
+:meth:`HoneyfarmConfig.personality_for_address`, egress jitter at the
+gateway's ``_send_external`` edge — so every fidelity tier (emulator,
+flash clone, responder baseline) presents the same randomized face.
+
+Both randomizations are pure functions of ``(seed, address)``: the farm
+stays bit-deterministic per seed (the conformance harness pins this),
+repeat visits to one address always see the same host, and flipping
+``enabled`` is a one-knob ablation exactly like ``content_sharing``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Optional, Tuple
+
+from repro.core.config import DeceptionConfig, HoneyfarmConfig
+
+__all__ = ["DeceptionController"]
+
+
+class DeceptionController:
+    """Apply and inspect anti-fingerprinting deception on a farm config."""
+
+    def __init__(self, config: HoneyfarmConfig) -> None:
+        self.config = config
+
+    # -- knobs ------------------------------------------------------------ #
+
+    @classmethod
+    def enable(
+        cls,
+        config: HoneyfarmConfig,
+        personality_pool: Optional[Tuple[str, ...]] = None,
+        jitter_max_seconds: Optional[float] = None,
+    ) -> HoneyfarmConfig:
+        """A copy of ``config`` with deception on (ablation helper)."""
+        base = config.deception
+        return config.with_overrides(deception=DeceptionConfig(
+            enabled=True,
+            personality_pool=(
+                personality_pool if personality_pool is not None
+                else base.personality_pool
+            ),
+            jitter_max_seconds=(
+                jitter_max_seconds if jitter_max_seconds is not None
+                else base.jitter_max_seconds
+            ),
+        ))
+
+    @classmethod
+    def disable(cls, config: HoneyfarmConfig) -> HoneyfarmConfig:
+        return config.with_overrides(
+            deception=DeceptionConfig(enabled=False)
+        )
+
+    # -- introspection ----------------------------------------------------- #
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.deception.enabled
+
+    def personality_distribution(self, limit: int = 256) -> Dict[str, int]:
+        """Personalities presented across the farm's first ``limit``
+        addresses — what a wide identity sweep would observe."""
+        counts: Counter = Counter()
+        prefixes = self.config.parsed_prefixes()
+        remaining = limit
+        for prefix in prefixes:
+            span = min(remaining, prefix.size)
+            for index in range(span):
+                addr = prefix.address_at(index)
+                counts[self.config.personality_for_address(prefix, addr)] += 1
+            remaining -= span
+            if remaining <= 0:
+                break
+        return dict(sorted(counts.items()))
+
+    def jitter_spread(self, limit: int = 256) -> Tuple[float, float]:
+        """(min, max) egress delay over the first ``limit`` addresses —
+        the cross-address timing decorrelation an attacker measures."""
+        delays = []
+        remaining = limit
+        for prefix in self.config.parsed_prefixes():
+            span = min(remaining, prefix.size)
+            for index in range(span):
+                delays.append(self.config.reply_jitter(prefix.address_at(index)))
+            remaining -= span
+            if remaining <= 0:
+                break
+        if not delays:
+            return (0.0, 0.0)
+        return (min(delays), max(delays))
+
+    def summary(self, limit: int = 256) -> dict:
+        low, high = self.jitter_spread(limit)
+        return {
+            "enabled": self.enabled,
+            "personality_pool": list(self.config.deception.personality_pool),
+            "jitter_max_seconds": self.config.deception.jitter_max_seconds,
+            "personality_distribution": self.personality_distribution(limit),
+            "jitter_spread": [low, high],
+        }

@@ -1,0 +1,176 @@
+"""The tell-score model: how a honeypot-aware attacker decides.
+
+"Gotta catch 'em all" (PAPERS.md) catalogues the simulation tells real
+adversaries probe for before committing malware to a host. We model four,
+each as a weighted :class:`Tell` extracted from probe evidence; a
+campaign aborts when the summed weight reaches :data:`ABORT_THRESHOLD`.
+
+* **clone-latency** — the first reply from a cold dark address pays the
+  flash-clone pipeline (~0.5 s, paper Table 1). Real idle hosts answer a
+  SYN in milliseconds; a *consistent* first-contact delay in the clone
+  band is a honeyfarm smell. Weak on its own (WANs are slow too).
+* **timing-variance** — distinct physical hosts never share sub-
+  millisecond reply timing; a farm dispatching every address through one
+  gateway does. Cross-address first-reply spread under
+  :data:`TIMING_SPREAD_FLOOR` is strong evidence.
+* **identity** — three or more addresses presenting byte-identical
+  service banners is the classic monoculture tell (every Potemkin clone
+  is the same reference image unless deception randomizes it).
+* **containment-echo** — the decisive test: implant a sacrificial bot
+  whose C2 *is the attacker's own listener* and watch for the check-in.
+  A containment policy that reflects or drops the beacon reveals itself
+  by silence, which is why this tell alone trips the threshold.
+
+The weights encode that hierarchy: no single passive tell aborts, any
+two corroborating passive tells do, and the active echo test always
+does. Deception (personality pool + per-address jitter) zeroes the
+identity and timing tells; only opening containment silences the echo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "ABORT_THRESHOLD",
+    "CLONE_LATENCY_BAND",
+    "CLONE_LATENCY_WEIGHT",
+    "CONTAINMENT_ECHO_WEIGHT",
+    "IDENTITY_MIN_ADDRESSES",
+    "IDENTITY_WEIGHT",
+    "TIMING_SPREAD_FLOOR",
+    "TIMING_VARIANCE_WEIGHT",
+    "Tell",
+    "TellScore",
+    "clone_latency_tell",
+    "containment_echo_tell",
+    "identity_tell",
+    "timing_variance_tell",
+]
+
+CLONE_LATENCY_WEIGHT = 0.4
+TIMING_VARIANCE_WEIGHT = 0.6
+IDENTITY_WEIGHT = 0.6
+CONTAINMENT_ECHO_WEIGHT = 1.0
+
+#: Total tell weight at which a campaign aborts.
+ABORT_THRESHOLD = 1.0
+
+#: First-reply latency band (seconds) consistent with a flash-clone
+#: pipeline in front of the address: the paper's 521 ms with generous
+#: margins for full-copy ablations and jitter.
+CLONE_LATENCY_BAND = (0.25, 2.5)
+
+#: Cross-address first-reply spread (seconds) below which timing is
+#: "machine-identical" — no population of real hosts is this correlated.
+TIMING_SPREAD_FLOOR = 0.001
+
+#: Minimum distinct addresses before the monoculture/timing tells count.
+IDENTITY_MIN_ADDRESSES = 3
+
+
+@dataclass(frozen=True)
+class Tell:
+    """One piece of honeypot evidence and its weight."""
+
+    name: str
+    weight: float
+    evidence: str
+
+    def as_tuple(self) -> Tuple[str, float, str]:
+        return (self.name, self.weight, self.evidence)
+
+
+@dataclass
+class TellScore:
+    """Accumulated evidence; the attacker's running belief."""
+
+    tells: List[Tell] = field(default_factory=list)
+
+    def add(self, tell: Optional[Tell]) -> None:
+        if tell is not None:
+            self.tells.append(tell)
+
+    @property
+    def total(self) -> float:
+        return sum(tell.weight for tell in self.tells)
+
+    def tripped(self, threshold: float = ABORT_THRESHOLD) -> bool:
+        return self.total >= threshold
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(tell.name for tell in self.tells)
+
+    def as_tuples(self) -> Tuple[Tuple[str, float, str], ...]:
+        return tuple(tell.as_tuple() for tell in self.tells)
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def clone_latency_tell(first_reply_latencies: Sequence[float]) -> Optional[Tell]:
+    """Median first-contact latency sitting in the clone band."""
+    if not first_reply_latencies:
+        return None
+    median = _median(first_reply_latencies)
+    low, high = CLONE_LATENCY_BAND
+    if low <= median <= high:
+        return Tell(
+            "clone-latency", CLONE_LATENCY_WEIGHT,
+            f"median first-reply latency {median:.3f}s in clone band"
+            f" [{low}, {high}]",
+        )
+    return None
+
+
+def timing_variance_tell(
+    first_reply_by_address: Dict[str, float],
+) -> Optional[Tell]:
+    """Cross-address first-reply latencies too correlated to be real.
+
+    Keyed by address so repeat replies from one host cannot fake a
+    population; needs :data:`IDENTITY_MIN_ADDRESSES` distinct addresses.
+    """
+    if len(first_reply_by_address) < IDENTITY_MIN_ADDRESSES:
+        return None
+    latencies = list(first_reply_by_address.values())
+    spread = max(latencies) - min(latencies)
+    if spread < TIMING_SPREAD_FLOOR:
+        return Tell(
+            "timing-variance", TIMING_VARIANCE_WEIGHT,
+            f"{len(latencies)} addresses replied within {spread * 1e6:.0f}us"
+            f" of each other (floor {TIMING_SPREAD_FLOOR * 1e3:.1f}ms)",
+        )
+    return None
+
+
+def identity_tell(banners_by_address: Dict[str, Tuple[str, ...]]) -> Optional[Tell]:
+    """Byte-identical service banners across the probed population."""
+    if len(banners_by_address) < IDENTITY_MIN_ADDRESSES:
+        return None
+    distinct = {banners for banners in banners_by_address.values()}
+    if len(distinct) == 1:
+        sample = next(iter(distinct))
+        return Tell(
+            "identity", IDENTITY_WEIGHT,
+            f"{len(banners_by_address)} addresses presented identical"
+            f" banners {sample!r}",
+        )
+    return None
+
+
+def containment_echo_tell(checkins_seen: int) -> Optional[Tell]:
+    """The sacrificial implant's beacon never reached our listener."""
+    if checkins_seen == 0:
+        return Tell(
+            "containment-echo", CONTAINMENT_ECHO_WEIGHT,
+            "implanted bot's C2 check-in never arrived — outbound"
+            " containment in the path",
+        )
+    return None

@@ -6,10 +6,13 @@
   VMs-per-host capacity estimates (experiment F-MEM).
 * :mod:`repro.analysis.epidemics` — infection curves, generation depth,
   and containment-effectiveness summaries (experiment F-CONTAIN).
+* :mod:`repro.analysis.adversary` — dwell time and capture rate versus
+  attacker sophistication, the deception-ablation headline table.
 * :mod:`repro.analysis.report` — plain-text tables and series rendering
   shared by the benchmark harness.
 """
 
+from repro.analysis.adversary import TierSummary, deception_effect, summarize_adversaries
 from repro.analysis.concurrency import ConcurrencyResult, concurrency_for_timeout, sweep_timeouts
 from repro.analysis.epidemics import ContainmentSummary, infection_curve, summarize_containment
 from repro.analysis.memory_stats import FootprintSummary, footprint_summary, vms_per_host_estimate
@@ -23,15 +26,18 @@ __all__ = [
     "ContainmentSummary",
     "DedupStats",
     "FootprintSummary",
+    "TierSummary",
     "TrafficProfile",
     "characterize_trace",
     "concurrency_for_timeout",
+    "deception_effect",
     "dedup_opportunity",
     "farm_run_report",
     "footprint_summary",
     "format_series",
     "format_table",
     "infection_curve",
+    "summarize_adversaries",
     "summarize_containment",
     "sweep_timeouts",
     "vms_per_host_estimate",

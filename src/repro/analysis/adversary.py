@@ -1,0 +1,121 @@
+"""Dwell time and capture rate versus attacker sophistication.
+
+Consumes the per-agent summaries produced by
+:class:`repro.adversary.base.AdversaryReport` (or the raw reports) and
+rolls them up into the experiment's headline table: for each
+sophistication tier, how long attackers engaged before reaching a
+verdict, what fraction of them the farm captured malware from, and how
+often they detected the farm and aborted. Comparing the table between
+the deception-off and deception-on arms is the paper-style ablation the
+benchmark gates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.adversary.base import AdversaryReport
+
+__all__ = [
+    "TierSummary",
+    "deception_effect",
+    "summarize_adversaries",
+]
+
+
+@dataclass(frozen=True)
+class TierSummary:
+    """Aggregate over every agent at one sophistication tier."""
+
+    tier: int
+    agents: int
+    completed: int
+    aborted: int
+    incomplete: int
+    captures: int
+    capture_rate: float  # agents with >= 1 capture / agents
+    abort_rate: float
+    mean_dwell: Optional[float]
+    mean_tell_total: float
+
+    def as_dict(self) -> dict:
+        return {
+            "tier": self.tier,
+            "agents": self.agents,
+            "completed": self.completed,
+            "aborted": self.aborted,
+            "incomplete": self.incomplete,
+            "captures": self.captures,
+            "capture_rate": round(self.capture_rate, 6),
+            "abort_rate": round(self.abort_rate, 6),
+            "mean_dwell": (
+                None if self.mean_dwell is None else round(self.mean_dwell, 6)
+            ),
+            "mean_tell_total": round(self.mean_tell_total, 6),
+        }
+
+
+def _as_summary(report: Union[AdversaryReport, Mapping]) -> Mapping:
+    if isinstance(report, AdversaryReport):
+        return report.summary()
+    return report
+
+
+def summarize_adversaries(
+    reports: Iterable[Union[AdversaryReport, Mapping]],
+) -> Dict[int, TierSummary]:
+    """Group agent outcomes by tier, sorted ascending by sophistication."""
+    by_tier: Dict[int, List[Mapping]] = {}
+    for report in reports:
+        summary = _as_summary(report)
+        by_tier.setdefault(int(summary["tier"]), []).append(summary)
+    out: Dict[int, TierSummary] = {}
+    for tier in sorted(by_tier):
+        rows = by_tier[tier]
+        verdicts = [r["verdict"] for r in rows]
+        dwells = [r["dwell_time"] for r in rows if r["dwell_time"] is not None]
+        captures = sum(len(r["captures"]) for r in rows)
+        captured_agents = sum(1 for r in rows if r["captures"])
+        out[tier] = TierSummary(
+            tier=tier,
+            agents=len(rows),
+            completed=verdicts.count("completed"),
+            aborted=verdicts.count("aborted"),
+            incomplete=verdicts.count("incomplete"),
+            captures=captures,
+            capture_rate=captured_agents / len(rows),
+            abort_rate=verdicts.count("aborted") / len(rows),
+            mean_dwell=(sum(dwells) / len(dwells)) if dwells else None,
+            mean_tell_total=sum(r["tell_total"] for r in rows) / len(rows),
+        )
+    return out
+
+
+def deception_effect(
+    off_reports: Iterable[Union[AdversaryReport, Mapping]],
+    on_reports: Iterable[Union[AdversaryReport, Mapping]],
+    fingerprint_tiers: Tuple[int, ...] = (2, 3),
+) -> dict:
+    """The ablation delta: what turning deception on bought the farm.
+
+    The headline number is capture count from *fingerprinting* tiers —
+    the attackers deception exists to win back. Naive tiers are
+    reported too (deception costs a slice of their captures, since the
+    randomized population is no longer uniformly vulnerable).
+    """
+    off = summarize_adversaries(off_reports)
+    on = summarize_adversaries(on_reports)
+
+    def _fp_captures(table: Dict[int, TierSummary]) -> int:
+        return sum(
+            table[t].captures for t in fingerprint_tiers if t in table
+        )
+
+    return {
+        "off": {t: s.as_dict() for t, s in off.items()},
+        "on": {t: s.as_dict() for t, s in on.items()},
+        "fingerprint_captures_off": _fp_captures(off),
+        "fingerprint_captures_on": _fp_captures(on),
+        "fingerprint_capture_gain": _fp_captures(on) - _fp_captures(off),
+    }

@@ -28,6 +28,10 @@ before writing code against the API:
   farms over M worker processes in lockstep epochs, cross-shard
   reflection over the message layer, per-shard rows, and a global
   packet-conservation check (docs/FEDERATION.md).
+* ``potemkin adversary`` — the attacker-vs-deception experiment: run
+  fingerprinting scanners (tiers 0-3) and a botnet campaign against the
+  farm with the deception defense off and on, printing dwell time,
+  capture rate, and abort rate per tier (docs/ADVERSARIES.md).
 """
 
 from __future__ import annotations
@@ -323,6 +327,59 @@ def _cmd_conform(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_adversary(args: argparse.Namespace) -> int:
+    from repro.adversary import FINGERPRINT_TIERS, experiment_digest, run_adversary_experiment
+
+    duration = 12.0 if args.smoke else args.duration
+    result = run_adversary_experiment(
+        seed=args.seed,
+        duration=duration,
+        containment=args.containment,
+        num_targets=args.targets,
+        include_botnet=not args.no_botnet,
+    )
+    print(
+        f"adversary experiment: seed {args.seed}, containment "
+        f"{args.containment}, {args.targets} targets, {duration}s"
+    )
+    for arm in ("off", "on"):
+        scanners = result["arms"][arm]["scanners"]
+        print(f"\ndeception {arm}:")
+        print("  tier  verdict      stage    tells  captures  dwell")
+        for tier in sorted(scanners, key=int):
+            s = scanners[tier]
+            dwell = "-" if s["dwell_time"] is None else f"{s['dwell_time']:.1f}s"
+            print(
+                f"  {tier:>4}  {s['verdict'] or '-':<11}"
+                f"  {s['abort_stage'] or '-':<7}"
+                f"  {s['tell_total']:>5.2f}  {len(s['captures']):>8}  {dwell}"
+            )
+        if "botnet" in result["arms"][arm]:
+            b = result["arms"][arm]["botnet"]
+            print(
+                f"  botnet: {len(b['captures'])} captures,"
+                f" {b['lateral_infections']} lateral,"
+                f" {b['stage2_pushed']} stage-2 pushes,"
+                f" {b['checkins_seen']} check-ins heard"
+            )
+    off = result["headline"]["fingerprint_captures_off"]
+    on = result["headline"]["fingerprint_captures_on"]
+    print(
+        f"\ncaptures from fingerprinting scanners (tiers"
+        f" {list(FINGERPRINT_TIERS)}): {off} without deception,"
+        f" {on} with deception"
+    )
+    print(f"digest: {experiment_digest(result)[:16]}")
+    if args.json:
+        from pathlib import Path
+
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+        print(f"full report -> {path}")
+    return 0
+
+
 def _cmd_federation(args: argparse.Namespace) -> int:
     from repro.testing.fedscenario import FederationScenario
     from repro.workloads.worms import KNOWN_WORMS
@@ -566,6 +623,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     federation.add_argument("--seed", type=int, default=1905)
     federation.set_defaults(func=_cmd_federation)
+
+    adversary = sub.add_parser(
+        "adversary",
+        help="fingerprinting scanners + botnet vs the deception defense",
+    )
+    adversary.add_argument("--seed", type=int, default=1)
+    adversary.add_argument("--duration", type=float, default=20.0,
+                           help="simulated seconds per agent run")
+    adversary.add_argument("--targets", type=int, default=8,
+                           help="farm addresses each agent attacks")
+    adversary.add_argument(
+        "--containment", default="reflect",
+        choices=["open", "drop-all", "allow-dns", "reflect"],
+    )
+    adversary.add_argument("--no-botnet", action="store_true",
+                           help="skip the botnet campaign arm")
+    adversary.add_argument("--smoke", action="store_true",
+                           help="bounded CI pass (12 simulated seconds)")
+    adversary.add_argument("--json", default=None,
+                           help="write the full report JSON to this path")
+    adversary.set_defaults(func=_cmd_adversary)
     return parser
 
 

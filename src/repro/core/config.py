@@ -13,7 +13,60 @@ from typing import Dict, Optional, Tuple
 
 from repro.net.addr import IPAddress, Prefix
 
-__all__ = ["HoneyfarmConfig", "LadderConfig"]
+__all__ = ["DeceptionConfig", "HoneyfarmConfig", "LadderConfig"]
+
+
+@dataclass(frozen=True)
+class DeceptionConfig:
+    """Anti-fingerprinting deception: per-address personality
+    randomization plus response-timing jitter.
+
+    Fingerprinting attackers exploit two farm-wide regularities: every
+    dark address presents the identical personality, and every reply
+    leaves with machine-identical timing. Deception breaks both with
+    *seed-deterministic* randomization — pure functions of ``(seed,
+    address)``, so repeat visits to one address always see the same host
+    and every run replays bit-identically.
+
+    Attributes
+    ----------
+    enabled:
+        Turn deception on. Off by default so the stock farm is
+        byte-for-byte the pre-deception system; ``False`` doubles as the
+        ablation arm of the capture-rate experiment (the
+        ``content_sharing`` pattern).
+    personality_pool:
+        Personalities assigned round the farm by a stable hash of the
+        address. Repeats weight the draw — the default pool is 50%
+        ``windows-default`` (vulnerable), so exploits still land.
+        Takes precedence over ``personality_mix`` and the per-prefix
+        mapping while enabled.
+    jitter_max_seconds:
+        Upper bound on the per-address reply delay added at the gateway
+        egress edge. Each address gets one fixed delay in
+        ``[0, jitter_max_seconds)`` — constant per address, so same-flow
+        packet order is preserved, but *different* across addresses,
+        which destroys the cross-address timing-correlation tell.
+        Zero disables the delay while keeping personality randomization.
+    """
+
+    enabled: bool = False
+    personality_pool: Tuple[str, ...] = (
+        "windows-default", "windows-default", "windows-patched",
+        "linux-server",
+    )
+    jitter_max_seconds: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.jitter_max_seconds < 0:
+            raise ValueError(
+                f"jitter_max_seconds must be >= 0: {self.jitter_max_seconds!r}"
+            )
+        if self.enabled and not self.personality_pool:
+            raise ValueError(
+                "an enabled deception config needs a non-empty"
+                " personality_pool"
+            )
 
 
 @dataclass(frozen=True)
@@ -148,6 +201,11 @@ class HoneyfarmConfig:
         Fidelity-ladder block (:class:`LadderConfig`): protocol-emulator
         tier with dynamic promotion into flash clones. Disabled by
         default, which doubles as the clone-always ablation.
+    deception:
+        Anti-fingerprinting block (:class:`DeceptionConfig`): seeded
+        per-address personality randomization + reply-timing jitter.
+        Disabled by default, which doubles as the deception-off ablation
+        of the adversary experiment.
     seed:
         Root seed for every random stream in the run.
     """
@@ -181,6 +239,7 @@ class HoneyfarmConfig:
     respawn_backoff_jitter: float = 0.2
     respawn_max_attempts: int = 6
     ladder: LadderConfig = field(default_factory=LadderConfig)
+    deception: DeceptionConfig = field(default_factory=DeceptionConfig)
     seed: int = 1
 
     def __post_init__(self) -> None:
@@ -262,10 +321,22 @@ class HoneyfarmConfig:
     def personality_for_address(self, prefix: Prefix, addr: IPAddress) -> str:
         """The personality backing one dark address.
 
-        With a ``personality_mix``, the choice is a stable weighted hash
-        of the address (same address → same personality, forever);
-        otherwise the per-prefix mapping applies.
+        With deception enabled, the choice is a stable uniform hash of
+        ``(seed, address)`` over the deception pool — a pure function,
+        so repeat visits see the same host and runs replay
+        bit-identically, yet neighbouring addresses differ (the
+        anti-fingerprinting property). With a ``personality_mix``, a
+        stable weighted hash of the address applies; otherwise the
+        per-prefix mapping.
         """
+        if self.deception.enabled:
+            import hashlib
+
+            pool = self.deception.personality_pool
+            digest = hashlib.sha256(
+                f"deception:{self.seed}:{addr.value}".encode()
+            ).digest()
+            return pool[int.from_bytes(digest[:8], "big") % len(pool)]
         if self.personality_mix is None:
             return self.personality_for(prefix)
         import hashlib
@@ -287,7 +358,24 @@ class HoneyfarmConfig:
         names.update(self.personality_by_prefix.values())
         if self.personality_mix is not None:
             names.update(self.personality_mix)
+        if self.deception.enabled:
+            names.update(self.deception.personality_pool)
         return tuple(sorted(names))
+
+    def reply_jitter(self, addr: IPAddress) -> float:
+        """The fixed deception delay added to every reply leaving
+        ``addr``: a pure function of ``(seed, address)`` in
+        ``[0, jitter_max_seconds)``, zero when deception is off."""
+        deception = self.deception
+        if not deception.enabled or deception.jitter_max_seconds <= 0.0:
+            return 0.0
+        import hashlib
+
+        digest = hashlib.sha256(
+            f"deception-jitter:{self.seed}:{addr.value}".encode()
+        ).digest()
+        unit = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return unit * deception.jitter_max_seconds
 
     def dns_address(self) -> IPAddress:
         return IPAddress.parse(self.dns_server_ip)

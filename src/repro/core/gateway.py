@@ -144,11 +144,20 @@ class Gateway:
         # block is enabled): consulted for cold addresses before a clone
         # is dispatched, and handed the replay when the clone is ready.
         self.ladder: Optional["FidelityLadder"] = None
+        # Deception reply-timing jitter (attached by the farm when the
+        # deception config block is enabled): maps a honeypot source
+        # address to its fixed egress delay. None keeps the zero-cost
+        # synchronous egress path.
+        self.reply_jitter: Optional[Callable[[IPAddress], float]] = None
         # Inter-shard port (attached by a federation ShardRunner when the
         # farm is one shard of many): duck-typed against ``is_remote``
         # and ``send``. None on standalone farms — every check below is
         # one attribute load and an identity test.
         self.intershard = None
+        # Last-seen infection generation per remote source address,
+        # recorded from inter-shard message metadata so infections caused
+        # by cross-shard scans chain the epidemic depth correctly.
+        self.remote_generations: Dict[IPAddress, int] = {}
         self.nat = ReflectionNat()
         self.vm_map: Dict[IPAddress, VirtualMachine] = {}
         # Packets held while a clone is in flight, each with the flow
@@ -221,6 +230,7 @@ class Gateway:
         # conservation check (sum out == sum in + in flight) is exact.
         self._c_intershard_out = handle("gateway.intershard_out")
         self._c_intershard_in = handle("gateway.intershard_in")
+        self._c_deception_delayed = handle("gateway.deception_delayed")
         self._c_dns_malformed = handle("gateway.dns_malformed")
         self._c_dns_answered = handle("gateway.dns_answered")
         # Fidelity-ladder buckets: packets fully served by the emulator
@@ -437,8 +447,12 @@ class Gateway:
             ladder is None
             or self.packet_tap is not None
             or self.external_sink is not None
+            or self.reply_jitter is not None
             or self._tunnel_links
         ):
+            # reply_jitter disqualifies the lane because jittered egress
+            # schedules events, violating the span invariant (fidelity
+            # over speed: deception-on runs use the exact lanes).
             return 0
         support = self._span_support(ladder)
         if support is None:
@@ -1398,10 +1412,21 @@ class Gateway:
                 direction="out", reply=reply,
                 src=str(packet.src), dst=str(packet.dst),
             )
-        port.send(packet, reply)
+        generation = -1
+        if not reply:
+            src_vm = self.vm_map.get(packet.src)
+            if (
+                src_vm is not None
+                and src_vm.guest is not None
+                and src_vm.guest.infection is not None
+            ):
+                generation = src_vm.guest.infection.generation
+        port.send(packet, reply, generation)
         return True
 
-    def receive_intershard(self, packet: Packet, reply: bool) -> None:
+    def receive_intershard(
+        self, packet: Packet, reply: bool, generation: int = -1
+    ) -> None:
         """Deliver one packet arriving from a sibling shard.
 
         Reply-kind packets cross the boundary raw (the sender holds no
@@ -1409,9 +1434,15 @@ class Gateway:
         shard whose VM initiated the reflected flow — the exact mirror of
         the local reply path. The TTL decrements once per gateway
         traversal, same as local forwarding, so reflection ping-pong
-        between shards still dies at the TTL horizon.
+        between shards still dies at the TTL horizon. ``generation`` is
+        the remote sender's infection depth (``-1`` when the source is
+        not an infected farm VM); it is remembered per source address so
+        an infection this packet causes chains from the true cross-shard
+        generation instead of restarting at zero.
         """
         self._c_intershard_in.increment()
+        if not reply and generation >= 0:
+            self.remote_generations[packet.src] = generation
         if _obs.ACTIVE is not None:
             _obs.ACTIVE.emit(
                 self.sim.now, "gateway", "intershard",
@@ -1423,6 +1454,26 @@ class Gateway:
         self.process_inbound(packet.decremented_ttl())
 
     def _send_external(self, packet: Packet) -> None:
+        """Ship a permitted packet toward the Internet, applying the
+        deception egress delay when the controller is attached.
+
+        The delay is keyed on the packet's *source* — the honeypot
+        address the attacker is probing — and is constant per address, so
+        packets of one flow never reorder; it only de-correlates timing
+        *across* addresses, which is the tell fingerprinting scanners
+        measure. Purely observational: nothing inside the farm reacts to
+        an external packet's departure time, so conservation and guest
+        behavior are unchanged."""
+        jitter = self.reply_jitter
+        if jitter is not None:
+            delay = jitter(packet.src)
+            if delay > 0.0:
+                self._c_deception_delayed.increment()
+                self.sim.schedule(delay, self._send_external_now, packet)
+                return
+        self._send_external_now(packet)
+
+    def _send_external_now(self, packet: Packet) -> None:
         """Ship a permitted packet to the Internet through the tunnel that
         owns its (impersonated) source address."""
         self._c_external_out.increment()

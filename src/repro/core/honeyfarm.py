@@ -146,6 +146,17 @@ class Honeyfarm:
         else:
             self.ladder = None
 
+        # Deception reply-timing jitter (anti-fingerprinting): attached
+        # the same way the ladder is, so the default farm keeps the
+        # zero-cost synchronous egress path. Personality randomization
+        # needs no attachment — it lives in the config's per-address
+        # personality resolution, which every tier already consults.
+        if (
+            self.config.deception.enabled
+            and self.config.deception.jitter_max_seconds > 0.0
+        ):
+            self.gateway.reply_jitter = self.config.reply_jitter
+
         idle_policy = IdleTimeoutPolicy(
             self.config.idle_timeout_seconds,
             detain_infected=self.config.detain_infected,
@@ -435,9 +446,15 @@ class Honeyfarm:
     def _propagate_generation(self, guest: GuestHost, packet: Packet) -> None:
         """If the packet comes from another (infected) farm VM, stamp the
         receiving guest with the next epidemic generation, so infection
-        records chain multi-stage spread."""
+        records chain multi-stage spread. Sources owned by sibling
+        federation shards are not in the local VM map; their generation
+        travels on the inter-shard message and is looked up from the
+        gateway's per-source record instead."""
         source_vm = self.gateway.vm_map.get(packet.src)
         if source_vm is None or source_vm.guest is None:
+            remote = self.gateway.remote_generations.get(packet.src)
+            if remote is not None:
+                guest.generation = remote + 1
             return
         source_guest: GuestHost = source_vm.guest
         if source_guest.infection is not None:

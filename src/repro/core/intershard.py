@@ -57,7 +57,9 @@ __all__ = [
 
 #: Wire-format version for :meth:`ShardMessage.encode`. Bump on any
 #: layout change; decoders reject mismatches instead of misparsing.
-WIRE_VERSION = 1
+#: v2 added ``generation`` (the sending VM's infection depth), so
+#: remote-sourced infections chain epidemic generations across shards.
+WIRE_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -142,7 +144,14 @@ class ShardMessage:
     packets on the *return* path of a reflected flow: the receiving
     gateway must run them through its ``ReflectionNat`` reply-source
     rewrite, exactly as it would a local reply (the PR 5 escape class,
-    now across shard boundaries).
+    now across shard boundaries). ``generation`` carries the sending
+    VM's infection generation for non-reply traffic, so an infection the
+    packet causes on the destination shard records depth ``generation +
+    1`` instead of defaulting to zero — without it, every cross-shard
+    hop flattened the epidemic tree (ROADMAP item-1 follow-up). The
+    sentinel ``-1`` means the source is not an infected farm VM (e.g. a
+    reflected external scan crossing shards), which must chain nothing:
+    such infections stay generation zero, exactly as on the local path.
     """
 
     send_time: float
@@ -152,12 +161,14 @@ class ShardMessage:
     seq: int
     reply: bool
     wire: Tuple
+    generation: int = -1
 
     def encode(self) -> Tuple:
         """The versioned on-pipe form (primitives only)."""
         return (
             WIRE_VERSION, self.send_time, self.deliver_time,
             self.src_shard, self.dst_shard, self.seq, self.reply, self.wire,
+            self.generation,
         )
 
     @classmethod
@@ -171,6 +182,7 @@ class ShardMessage:
             send_time=encoded[1], deliver_time=encoded[2],
             src_shard=encoded[3], dst_shard=encoded[4],
             seq=encoded[5], reply=encoded[6], wire=tuple(encoded[7]),
+            generation=encoded[8],
         )
 
 
@@ -292,7 +304,7 @@ class ShardRunner:
             self.farm.gateway.intershard = self
         self.sent = 0
         self.outbox: List[ShardMessage] = []
-        self._mailbox: List[Tuple[float, int, int, bool, Tuple]] = []
+        self._mailbox: List[Tuple[float, int, int, bool, Tuple, int]] = []
         self.recorder: Optional[FlightRecorder] = (
             FlightRecorder(recorder_capacity) if recorder_capacity > 0 else None
         )
@@ -310,10 +322,13 @@ class ShardRunner:
         shard = self.shard_map.shard_for(addr)
         return shard is not None and shard != self.index
 
-    def send(self, packet: Packet, reply: bool) -> None:
+    def send(self, packet: Packet, reply: bool, generation: int = -1) -> None:
         """Queue one packet for its owning shard, due one cross-shard
         latency from now. Called by the gateway after it has already
-        applied local NAT state; the packet crosses the boundary raw."""
+        applied local NAT state; the packet crosses the boundary raw.
+        ``generation`` is the sending VM's infection generation, or the
+        ``-1`` sentinel when the source is not an infected farm VM
+        (reply traffic, reflected external scans)."""
         dst_shard = self.shard_map.shard_for(packet.dst)
         assert dst_shard is not None and dst_shard != self.index
         now = self.farm.sim.now
@@ -326,6 +341,7 @@ class ShardRunner:
             seq=self.sent,
             reply=reply,
             wire=encode_packet(packet),
+            generation=generation,
         ))
 
     # -- coordinator interface ------------------------------------------- #
@@ -339,7 +355,7 @@ class ShardRunner:
             )
         heapq.heappush(self._mailbox, (
             message.deliver_time, message.src_shard, message.seq,
-            message.reply, message.wire,
+            message.reply, message.wire, message.generation,
         ))
 
     def attach_records(self, records, batched: bool = True) -> int:
@@ -369,9 +385,10 @@ class ShardRunner:
         gateway = self.farm.gateway
         mailbox = self._mailbox
         while mailbox and mailbox[0][0] <= end:
-            deliver, __, __, reply, wire = heapq.heappop(mailbox)
+            deliver, __, __, reply, wire, generation = heapq.heappop(mailbox)
             sim.schedule_at(
-                deliver, gateway.receive_intershard, decode_packet(wire), reply
+                deliver, gateway.receive_intershard, decode_packet(wire),
+                reply, generation,
             )
         if self.recorder is not None:
             previous = _obs.active()

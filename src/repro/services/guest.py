@@ -217,7 +217,12 @@ class GuestHost:
         self.sim = sim
         self.rng = rng
         self.transmit = transmit
-        self.worm_behaviors = worm_behaviors or {}
+        # Keep the caller's dict by reference even when it is still
+        # empty: the farm registers worms mid-run (an adversary's echo
+        # implant lands after recon already cloned the VM), and an
+        # ``or {}`` here would silently detach early-cloned guests from
+        # every later registration.
+        self.worm_behaviors = worm_behaviors if worm_behaviors is not None else {}
         self.on_oom = on_oom
         self.on_infection = on_infection
         self.infection: Optional[InfectionRecord] = None

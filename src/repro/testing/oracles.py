@@ -127,10 +127,15 @@ class ContainmentSafetyOracle(Oracle):
 
     def check(self, scenario, observations, trace):
         violations = []
-        inbound_pairs = {(str(r.src), str(r.dst)) for r in trace}
+        trace_pairs = {(str(r.src), str(r.dst)) for r in trace}
         for obs in _farm_worlds(observations):
             if obs.containment == "open":
                 continue
+            # Adversary agents inject through the same front door the
+            # trace uses; their probes are legitimate inbound traffic.
+            inbound_pairs = trace_pairs | {
+                tuple(pair) for pair in obs.adversary_injected_pairs
+            }
             initiated = obs.counters.get("gateway.initiated_external_out", 0)
             if initiated != 0:
                 violations.append(
@@ -421,7 +426,12 @@ class ResponderFidelityOracle(Oracle):
             )
         delta = observations.get("delta")
         if delta is not None:
-            gen0 = sum(1 for __, __, gen in delta.infections if gen == 0)
+            # The responder replays only the shared trace, so infections
+            # sourced by adversary agents fall outside its bound.
+            gen0 = (
+                sum(1 for __, __, gen in delta.infections if gen == 0)
+                - delta.adversary_gen0_infections
+            )
             if gen0 > responder.would_have_infected:
                 violations.append(
                     self.violation(
@@ -429,6 +439,102 @@ class ResponderFidelityOracle(Oracle):
                         f"farm captured {gen0} generation-0 infections but the "
                         f"responder only counted "
                         f"{responder.would_have_infected} exploit attempts",
+                    )
+                )
+        return violations
+
+
+class FingerprintBlindnessOracle(Oracle):
+    """Adversary agents behave sanely in every farm world: each reaches
+    a deterministic terminal verdict, a scanner that aborted during
+    recon committed no malware (so it cannot have been captured), and
+    flipping the deception defense never costs the farm its safety
+    invariants (the flip world's packet ledger still balances).
+
+    Deliberately *not* asserted: zero identity/timing tells under
+    deception — a small target sample can legitimately draw one
+    personality for every probed address."""
+
+    name = "fingerprint-blindness"
+
+    def check(self, scenario, observations, trace):
+        violations = []
+        for obs in _farm_worlds(observations):
+            for report in obs.adversary_reports:
+                if report["verdict"] is None:
+                    violations.append(
+                        self.violation(
+                            obs.world,
+                            f"adversary {report['name']} never reached a "
+                            "terminal verdict",
+                            report=report,
+                        )
+                    )
+                if (
+                    report["kind"] == "fingerprint"
+                    and report["abort_stage"] == "recon"
+                    and report["captures"]
+                ):
+                    violations.append(
+                        self.violation(
+                            obs.world,
+                            f"scanner {report['name']} aborted at recon yet "
+                            f"was captured {len(report['captures'])} times",
+                            report=report,
+                        )
+                    )
+        flip = observations.get("deception-flip")
+        if flip is not None and flip.leaked != 0:
+            violations.append(
+                self.violation(
+                    flip.world,
+                    f"deception flip leaked {flip.leaked} packets from the "
+                    "conservation ledger",
+                    packets_in=flip.packets_in,
+                    delivered=flip.delivered,
+                    still_pending=flip.still_pending,
+                )
+            )
+        return violations
+
+
+class CampaignLedgerOracle(Oracle):
+    """Botnet campaigns cannot smuggle C2 traffic past containment: in
+    any adversary-bearing farm world under a non-open policy, no packet
+    whose payload marks it as C2 (check-in beacon or staged payload
+    reply) reaches the external sink, and the world's packet ledger
+    still balances."""
+
+    name = "campaign-ledger"
+
+    _C2_MARKERS = ("cnc:", "stage:")
+
+    def check(self, scenario, observations, trace):
+        violations = []
+        for obs in _farm_worlds(observations):
+            if not obs.adversary_reports:
+                continue
+            if obs.leaked != 0:
+                violations.append(
+                    self.violation(
+                        obs.world,
+                        f"adversary world leaked {obs.leaked} packets from "
+                        "the conservation ledger",
+                    )
+                )
+            if obs.containment == "open":
+                continue
+            c2_escapes = [
+                key for key in obs.external_packets
+                if key[6].startswith(self._C2_MARKERS)
+            ]
+            if c2_escapes:
+                violations.append(
+                    self.violation(
+                        obs.world,
+                        f"{len(c2_escapes)} C2 packets escaped under "
+                        f"containment={obs.containment!r}",
+                        examples=[list(key) for key in c2_escapes[:5]],
                     )
                 )
         return violations
@@ -482,4 +588,6 @@ def default_registry() -> OracleRegistry:
     registry.register(ClockMonotoneOracle())
     registry.register(TraceConsistencyOracle())
     registry.register(ResponderFidelityOracle())
+    registry.register(FingerprintBlindnessOracle())
+    registry.register(CampaignLedgerOracle())
     return registry

@@ -19,7 +19,7 @@ import json
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core.config import HoneyfarmConfig, LadderConfig
+from repro.core.config import DeceptionConfig, HoneyfarmConfig, LadderConfig
 from repro.faults.plan import FaultPlan, FaultSpec
 from repro.net.addr import IPAddress, Prefix
 from repro.sim.rand import RandomStream, SeedSequence
@@ -27,7 +27,10 @@ from repro.workloads.telescope import TelescopeConfig, TelescopeWorkload
 from repro.workloads.trace import TraceRecord
 from repro.workloads.worms import KNOWN_WORMS
 
-__all__ = ["WormWave", "Scenario", "ScenarioGenerator"]
+__all__ = ["AdversarySpec", "WormWave", "Scenario", "ScenarioGenerator"]
+
+#: Adversary agent kinds a scenario may schedule.
+ADVERSARY_KINDS = ("fingerprint", "botnet")
 
 #: Containment policies a scenario may select for its primary worlds.
 SCENARIO_CONTAINMENTS = ("drop-all", "allow-dns", "reflect", "open")
@@ -60,6 +63,37 @@ class WormWave:
             raise ValueError(f"wave sources must be positive: {self.sources!r}")
         if self.rate <= 0:
             raise ValueError(f"wave rate must be positive: {self.rate!r}")
+
+
+@dataclass(frozen=True)
+class AdversarySpec:
+    """One closed-loop adversary agent attached to every farm world.
+
+    ``kind`` selects the agent class
+    (:class:`~repro.adversary.fingerprint.FingerprintScanner` or
+    :class:`~repro.adversary.botnet.BotnetCampaign`); ``tier`` is the
+    scanner's sophistication and ignored for botnets."""
+
+    kind: str
+    start: float = 0.5
+    tier: int = 0
+    num_targets: int = 4
+    worm: str = "slammer"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ADVERSARY_KINDS:
+            raise ValueError(f"unknown adversary kind {self.kind!r}")
+        if self.start < 0:
+            raise ValueError(f"adversary start must be >= 0: {self.start!r}")
+        if not (0 <= self.tier <= 3):
+            raise ValueError(f"adversary tier must be in [0, 3]: {self.tier!r}")
+        if self.num_targets < 3:
+            # Identity/timing tells need >= 3 probed addresses.
+            raise ValueError(
+                f"adversary num_targets must be >= 3: {self.num_targets!r}"
+            )
+        if self.worm not in KNOWN_WORMS:
+            raise ValueError(f"unknown worm {self.worm!r}")
 
 
 @dataclass(frozen=True)
@@ -110,6 +144,8 @@ class Scenario:
     max_packets: int = 400
     worm_waves: Tuple[WormWave, ...] = ()
     fault_events: Tuple[Dict[str, Any], ...] = ()
+    adversaries: Tuple[AdversarySpec, ...] = ()
+    deception: bool = False
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -138,6 +174,10 @@ class Scenario:
         ))
         object.__setattr__(self, "fault_events", tuple(
             dict(e) for e in self.fault_events
+        ))
+        object.__setattr__(self, "adversaries", tuple(
+            a if isinstance(a, AdversarySpec) else AdversarySpec(**a)
+            for a in self.adversaries
         ))
         for event in self.fault_events:
             FaultSpec.from_dict(event)  # validate eagerly; raises on bad specs
@@ -188,10 +228,13 @@ class Scenario:
         containment: Optional[str] = None,
         content_sharing: Optional[bool] = None,
         ladder: bool = False,
+        deception: Optional[bool] = None,
     ) -> HoneyfarmConfig:
         """The farm configuration for one world of this scenario."""
+        deceive = self.deception if deception is None else deception
         return HoneyfarmConfig(
             ladder=LadderConfig(enabled=True) if ladder else LadderConfig(),
+            deception=DeceptionConfig(enabled=True) if deceive else DeceptionConfig(),
             prefixes=(self.prefix,),
             num_hosts=self.num_hosts,
             host_memory_bytes=self.host_memory_bytes,
@@ -311,6 +354,9 @@ class Scenario:
             + len(self.worm_waves) * 30
             + sum(w.sources for w in self.worm_waves) * 5
             + len(self.fault_events) * 40
+            + len(self.adversaries) * 30
+            + sum(a.tier + a.num_targets for a in self.adversaries)
+            + (8 if self.deception else 0)
             + self.warm_pool_size * 2
             + (4 if self.pending_timeout is not None else 0)
             + (6 if self.churn else 0)
@@ -322,6 +368,7 @@ class Scenario:
         data = asdict(self)
         data["worm_waves"] = [asdict(w) for w in self.worm_waves]
         data["fault_events"] = [dict(e) for e in self.fault_events]
+        data["adversaries"] = [asdict(a) for a in self.adversaries]
         return data
 
     def to_json(self, indent: int = 2) -> str:
@@ -337,6 +384,9 @@ class Scenario:
             WormWave(**w) for w in data.get("worm_waves", ())
         )
         data["fault_events"] = tuple(data.get("fault_events", ()))
+        data["adversaries"] = tuple(
+            AdversarySpec(**a) for a in data.get("adversaries", ())
+        )
         return cls(**data)
 
     @classmethod
@@ -374,23 +424,35 @@ class ScenarioGenerator:
         pending_timeout = rng.choice([None, None, None, 5.0])
         waves = self._waves(rng, duration)
         faults = self._faults(rng, duration, num_hosts)
+        # Draws below stay in this order so older scenarios regenerate
+        # identically; the adversary/deception draws append at the end.
+        seed = rng.randint(0, 2**31 - 1)
+        vm_image_mb = rng.choice([4, 8])
+        content_sharing = rng.bernoulli(0.75)
+        telescope_rate = round(rng.uniform(4.0, 12.0), 2)
+        exploit_fraction = round(rng.uniform(0.2, 0.5), 2)
+        max_packets = rng.randint(200, 700)
+        adversaries = self._adversaries(rng, duration)
+        deception = rng.bernoulli(0.35 if adversaries else 0.1)
         return Scenario(
-            seed=rng.randint(0, 2**31 - 1),
+            seed=seed,
             prefix_bits=prefix_bits,
             duration=duration,
             num_hosts=num_hosts,
-            vm_image_mb=rng.choice([4, 8]),
+            vm_image_mb=vm_image_mb,
             containment=containment,
-            content_sharing=rng.bernoulli(0.75),
+            content_sharing=content_sharing,
             warm_pool_size=warm_pool,
             pending_timeout=pending_timeout,
             memory_profile=memory_profile,
             churn=churn,
-            telescope_rate=round(rng.uniform(4.0, 12.0), 2),
-            exploit_fraction=round(rng.uniform(0.2, 0.5), 2),
-            max_packets=rng.randint(200, 700),
+            telescope_rate=telescope_rate,
+            exploit_fraction=exploit_fraction,
+            max_packets=max_packets,
             worm_waves=waves,
             fault_events=faults,
+            adversaries=adversaries,
+            deception=deception,
             name=f"gen-{self.root_seed}-{index}",
         )
 
@@ -407,6 +469,24 @@ class ScenarioGenerator:
                 rate=round(rng.uniform(1.0, 4.0), 1),
             ))
         return tuple(waves)
+
+    def _adversaries(
+        self, rng: RandomStream, duration: float
+    ) -> Tuple[AdversarySpec, ...]:
+        count = rng.choice([0, 0, 0, 1, 1, 2])
+        specs = []
+        for __ in range(count):
+            kind = "fingerprint" if rng.bernoulli(0.7) else "botnet"
+            specs.append(AdversarySpec(
+                kind=kind,
+                # Early enough that the recon/analyze/echo stages fit
+                # inside the run window plus cool-down.
+                start=round(rng.uniform(0.2, max(0.3, duration * 0.4)), 1),
+                tier=rng.randint(0, 3) if kind == "fingerprint" else 0,
+                num_targets=rng.randint(3, 6),
+                worm=rng.choice(["slammer", "codered"]),
+            ))
+        return tuple(specs)
 
     def _faults(
         self, rng: RandomStream, duration: float, num_hosts: int

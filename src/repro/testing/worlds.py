@@ -20,6 +20,9 @@ from collections import Counter
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.adversary.base import AdversaryAgent
+from repro.adversary.botnet import BotnetCampaign
+from repro.adversary.fingerprint import FingerprintScanner
 from repro.analysis.recovery import packet_ledger
 from repro.baselines.responder import StatelessResponder
 from repro.core.federation import FederatedHoneyfarm
@@ -29,6 +32,7 @@ from repro.faults.injectors import ChaosController
 from repro.net.addr import AddressSpaceInventory, IPAddress, Prefix
 from repro.obs import FlightRecorder, install, uninstall
 from repro.services.personality import default_registry
+from repro.sim.rand import SeedSequence
 from repro.testing.scenario import Scenario
 from repro.workloads.trace import TraceRecord, replay_into_farm
 from repro.workloads.worms import KNOWN_WORMS
@@ -85,6 +89,10 @@ class WorldSpec:
     #: per-event siblings — running one world batched keeps the whole
     #: conformance matrix as a standing cross-check of that contract.
     batched: bool = False
+    #: None inherits the scenario's ``deception`` flag; True/False force
+    #: the deception arm, so the flip world differs from the primary in
+    #: exactly the personality/jitter randomization.
+    deception: Optional[bool] = None
 
 
 def world_matrix(scenario: Scenario) -> List[WorldSpec]:
@@ -94,14 +102,20 @@ def world_matrix(scenario: Scenario) -> List[WorldSpec]:
     policy (so every run diffs >= 2 policies), the fidelity-ladder
     variant, and the responder baseline."""
     alternate = "reflect" if scenario.containment == "drop-all" else "drop-all"
-    return [
+    specs = [
         WorldSpec("delta", batched=True),
         WorldSpec("sharing-flip", content_sharing=not scenario.content_sharing),
         WorldSpec("fullcopy", clone_mode="full-copy"),
         WorldSpec(f"alt-{alternate}", containment=alternate),
         WorldSpec("ladder", ladder=True),
-        WorldSpec("responder", kind="responder"),
     ]
+    if scenario.adversaries or scenario.deception:
+        # Ablate the deception defense whenever it matters: adversary
+        # verdicts may legitimately differ across the flip, but the
+        # containment/conservation oracles must hold on both sides.
+        specs.append(WorldSpec("deception-flip", deception=not scenario.deception))
+    specs.append(WorldSpec("responder", kind="responder"))
+    return specs
 
 
 @dataclass
@@ -143,6 +157,15 @@ class WorldObservation:
     packets_seen: int = 0
     replies_sent: int = 0
     would_have_infected: int = 0
+    # Adversary-agent observations (farm worlds with scenario adversaries).
+    deception: bool = False
+    adversary_reports: List[Dict[str, Any]] = field(default_factory=list)
+    #: Sorted (src, dst) pairs the agents injected — legitimate inbound
+    #: traffic the containment-safety oracle must whitelist.
+    adversary_injected_pairs: List[Tuple[str, str]] = field(default_factory=list)
+    #: Generation-0 infections sourced by agents (not the shared trace),
+    #: for the responder-fidelity bound.
+    adversary_gen0_infections: int = 0
 
     def digest(self) -> Tuple[Tuple[PacketKey, ...], Tuple[Tuple[str, str, int], ...]]:
         """The guest-visible observation: what left the farm plus what
@@ -207,6 +230,7 @@ def _run_farm(
         containment=spec.containment,
         content_sharing=spec.content_sharing,
         ladder=spec.ladder,
+        deception=spec.deception,
     )
     farm = Honeyfarm(config)
     dns = farm.config.dns_address()
@@ -216,6 +240,12 @@ def _run_farm(
 
     escaped: List[PacketKey] = []
     farm.gateway.external_sink = lambda packet: escaped.append(_packet_key(packet))
+
+    # Adversary agents chain-wrap the sink just installed, so the
+    # escaped collector keeps seeing every egress packet.
+    agents = _build_adversaries(scenario, farm)
+    for agent in agents:
+        agent.attach()
 
     plan = scenario.fault_plan()
     controller = ChaosController(farm, plan) if plan else None
@@ -270,6 +300,17 @@ def _run_farm(
     except Exception as exc:  # the oracle reports, never raises
         obs.frame_error = f"{type(exc).__name__}: {exc}"
 
+    obs.deception = config.deception.enabled
+    obs.adversary_reports = [agent.report.summary() for agent in agents]
+    obs.adversary_injected_pairs = sorted(
+        {pair for agent in agents for pair in agent.injected_pairs}
+    )
+    sources = {agent.source for agent in agents}
+    obs.adversary_gen0_infections = sum(
+        1 for r in farm.infections
+        if r.generation == 0 and r.source in sources
+    )
+
     obs.pressure_evictions = obs.counters.get("farm.pressure_evictions", 0)
     ledger = packet_ledger(farm)
     obs.packets_in = ledger.packets_in
@@ -280,6 +321,43 @@ def _run_farm(
     obs.leaked = ledger.leaked
     obs.emulated = ledger.emulated
     return obs
+
+
+def _build_adversaries(scenario: Scenario, farm: Honeyfarm) -> List[AdversaryAgent]:
+    """Instantiate the scenario's adversary agents against one farm.
+
+    Everything — sources, targets, per-agent rng — derives from the
+    scenario alone, so every farm world faces the identical campaign.
+    """
+    if not scenario.adversaries:
+        return []
+    seeds = SeedSequence(scenario.seed).spawn("adversary")
+    prefix = Prefix.parse(scenario.prefix)
+    # Inside the run window so the deadline backstop's terminal verdict
+    # lands before the sim stops.
+    deadline = scenario.duration + COOLDOWN_SECONDS - 0.5
+    agents: List[AdversaryAgent] = []
+    for i, spec in enumerate(scenario.adversaries):
+        step = max(1, scenario.address_count // (spec.num_targets + 1))
+        targets = tuple(
+            prefix.address_at(1 + j * step) for j in range(spec.num_targets)
+        )
+        common = dict(
+            farm=farm,
+            rng=seeds.stream(f"agent-{i}"),
+            source=IPAddress.parse(f"198.51.100.{10 + i}"),
+            targets=targets,
+            start=spec.start,
+            deadline=deadline,
+            name=f"adv-{i}-{spec.kind}",
+        )
+        if spec.kind == "fingerprint":
+            agents.append(
+                FingerprintScanner(tier=spec.tier, worm=spec.worm, **common)
+            )
+        else:
+            agents.append(BotnetCampaign(worm=spec.worm, **common))
+    return agents
 
 
 def _run_federation(

@@ -1,0 +1,405 @@
+"""Adversary agents, the deception defense, and their conformance glue.
+
+Covers the tell-score model unit by unit, the fingerprinting scanner's
+tier ladder against deception-off and deception-on farms, the staged
+botnet campaign under containment, the DeceptionController facade, the
+dwell/capture analysis rollup, the experiment driver's headline gate,
+the three pinned adversary corpus scenarios (golden digests), and the
+``potemkin adversary`` CLI.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.adversary import (
+    ABORT_THRESHOLD,
+    BotnetCampaign,
+    DeceptionController,
+    FingerprintScanner,
+    Tell,
+    TellScore,
+    clone_latency_tell,
+    containment_echo_tell,
+    experiment_digest,
+    identity_tell,
+    run_adversary_experiment,
+    timing_variance_tell,
+)
+from repro.analysis.adversary import deception_effect, summarize_adversaries
+from repro.core.config import DeceptionConfig, HoneyfarmConfig
+from repro.core.honeyfarm import Honeyfarm
+from repro.net.addr import IPAddress, Prefix
+from repro.sim.rand import SeedSequence
+from repro.testing.scenario import AdversarySpec, Scenario
+from repro.testing.worlds import WorldSpec, run_world, world_matrix
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+PREFIX = "10.18.0.0/26"
+SEED = 7
+
+
+def make_farm(deception: bool = False, containment: str = "reflect",
+              seed: int = SEED) -> Honeyfarm:
+    config = HoneyfarmConfig(
+        prefixes=(PREFIX,),
+        num_hosts=2,
+        containment=containment,
+        clone_jitter=0.0,
+        idle_timeout_seconds=120.0,
+        seed=seed,
+    )
+    if deception:
+        config = DeceptionController.enable(config)
+    return Honeyfarm(config=config)
+
+
+def make_scanner(farm: Honeyfarm, tier: int, num_targets: int = 6,
+                 deadline: float = 15.0) -> FingerprintScanner:
+    prefix = Prefix.parse(PREFIX)
+    return FingerprintScanner(
+        farm=farm,
+        rng=SeedSequence(SEED).spawn("adversary").stream(f"t{tier}"),
+        source=IPAddress.parse("198.51.100.77"),
+        targets=tuple(prefix.address_at(3 + 7 * i) for i in range(num_targets)),
+        start=0.5,
+        deadline=deadline,
+        name=f"scanner-t{tier}",
+        tier=tier,
+    )
+
+
+def run_scanner(tier: int, deception: bool, containment: str = "reflect"):
+    farm = make_farm(deception=deception, containment=containment)
+    scanner = make_scanner(farm, tier)
+    scanner.attach()
+    farm.run(until=15.0)
+    return farm, scanner
+
+
+# --------------------------------------------------------------------- #
+# Tell scoring
+# --------------------------------------------------------------------- #
+
+
+class TestTells:
+    def test_clone_latency_fires_inside_band_only(self):
+        assert clone_latency_tell([0.5, 0.52, 0.51]) is not None
+        assert clone_latency_tell([0.01, 0.02, 0.015]) is None
+        assert clone_latency_tell([5.0, 6.0, 7.0]) is None
+        assert clone_latency_tell([]) is None
+
+    def test_timing_variance_needs_three_correlated_addresses(self):
+        correlated = {"a": 0.5210, "b": 0.5212, "c": 0.5211}
+        assert timing_variance_tell(correlated) is not None
+        assert timing_variance_tell({"a": 0.52, "b": 0.5201}) is None  # 2 addrs
+        spread = {"a": 0.50, "b": 0.55, "c": 0.60}
+        assert timing_variance_tell(spread) is None
+
+    def test_identity_fires_on_monoculture_only(self):
+        mono = {f"h{i}": ("banner:IIS",) for i in range(4)}
+        assert identity_tell(mono) is not None
+        assert identity_tell({"h0": ("banner:IIS",), "h1": ("banner:IIS",)}) is None
+        mixed = dict(mono)
+        mixed["h3"] = ("banner:Apache",)
+        assert identity_tell(mixed) is None
+
+    def test_containment_echo_is_decisive(self):
+        tell = containment_echo_tell(0)
+        assert tell is not None
+        assert tell.weight >= ABORT_THRESHOLD
+        assert containment_echo_tell(3) is None
+
+    def test_score_accumulates_and_trips(self):
+        score = TellScore()
+        score.add(None)
+        assert score.total == 0.0 and not score.tripped()
+        score.add(Tell("identity", 0.6, "x"))
+        assert not score.tripped()
+        score.add(Tell("timing-variance", 0.6, "y"))
+        assert score.tripped()
+        assert score.names() == ("identity", "timing-variance")
+
+
+# --------------------------------------------------------------------- #
+# Fingerprint scanner tiers
+# --------------------------------------------------------------------- #
+
+
+class TestFingerprintScanner:
+    def test_tier0_exploits_blind_and_captures(self):
+        farm, scanner = run_scanner(tier=0, deception=False)
+        report = scanner.report
+        assert report.verdict == "completed"
+        assert report.tell_total == 0.0
+        assert len(report.captures) == 6  # monoculture: every target falls
+        assert farm.metrics.counters().get("adversary.verdict_completed") == 1
+
+    def test_tier2_reads_the_monoculture_and_aborts(self):
+        farm, scanner = run_scanner(tier=2, deception=False)
+        report = scanner.report
+        assert report.verdict == "aborted"
+        assert report.abort_stage == "recon"
+        assert report.captures == ()
+        names = {name for name, __, __ in report.tells}
+        assert "identity" in names
+        assert {"timing-variance", "clone-latency"} & names
+        assert farm.metrics.counters().get("adversary.aborts") == 1
+
+    def test_tier2_walks_in_under_deception(self):
+        __, scanner = run_scanner(tier=2, deception=True)
+        report = scanner.report
+        assert report.verdict == "completed"
+        assert report.tell_total < ABORT_THRESHOLD
+        # Randomized personalities: only the vulnerable slice falls.
+        assert 0 < len(report.captures) < 6
+
+    def test_tier3_echo_detects_reflect_containment_despite_deception(self):
+        __, scanner = run_scanner(tier=3, deception=True, containment="reflect")
+        report = scanner.report
+        assert report.verdict == "aborted"
+        assert report.abort_stage == "echo"
+        assert report.checkins_seen == 0
+
+    def test_tier3_echo_is_silenced_by_open_containment(self):
+        __, scanner = run_scanner(tier=3, deception=True, containment="open")
+        report = scanner.report
+        assert report.checkins_seen >= 1
+        assert report.abort_stage != "echo"
+
+    def test_rejects_bad_tier_and_worm(self):
+        farm = make_farm()
+        with pytest.raises(ValueError):
+            make_scanner(farm, tier=4)
+        with pytest.raises(ValueError):
+            FingerprintScanner(
+                farm=farm,
+                rng=SeedSequence(1).stream("x"),
+                source=IPAddress.parse("198.51.100.1"),
+                targets=(IPAddress.parse("10.18.0.3"),),
+                start=0.5,
+                deadline=5.0,
+                name="bad",
+                worm="not-a-worm",
+            )
+
+
+# --------------------------------------------------------------------- #
+# Botnet campaign
+# --------------------------------------------------------------------- #
+
+
+class TestBotnetCampaign:
+    def run_campaign(self, containment="reflect", deception=False):
+        farm = make_farm(deception=deception, containment=containment)
+        prefix = Prefix.parse(PREFIX)
+        external = []
+        # Install the collector first so attach() chain-wraps it: the
+        # campaign observes replies and the test still sees every
+        # escaped packet.
+        farm.gateway.external_sink = external.append
+        campaign = BotnetCampaign(
+            farm=farm,
+            rng=SeedSequence(SEED).spawn("adversary").stream("campaign"),
+            source=IPAddress.parse("198.51.100.99"),
+            targets=tuple(prefix.address_at(3 + 7 * i) for i in range(4)),
+            start=0.5,
+            deadline=15.0,
+            name="campaign",
+        )
+        campaign.attach()
+        farm.run(until=15.0)
+        return farm, campaign, external
+
+    def test_campaign_compromises_and_spreads_laterally(self):
+        farm, campaign, __ = self.run_campaign()
+        report = campaign.report
+        assert report.verdict == "completed"
+        assert len(report.captures) == 4
+        assert report.lateral_infections > 0
+        # Stage-2 goes only to the campaign's own direct victims.
+        assert report.stage2_pushed == 4
+
+    def test_c2_checkins_are_contained_under_reflect(self):
+        __, campaign, external = self.run_campaign(containment="reflect")
+        assert campaign.report.checkins_seen == 0
+        c2 = [p for p in external
+              if p.payload.startswith(("cnc:", "stage:"))]
+        assert c2 == []
+
+    def test_c2_checkins_escape_under_open(self):
+        __, campaign, __ = self.run_campaign(containment="open")
+        assert campaign.report.checkins_seen > 0
+
+    def test_stage2_pushes_are_capped(self):
+        from repro.adversary.botnet import MAX_STAGE2_PUSHES
+
+        farm, campaign, __ = self.run_campaign()
+        assert campaign.report.stage2_pushed <= MAX_STAGE2_PUSHES
+
+
+# --------------------------------------------------------------------- #
+# Deception controller and farm hooks
+# --------------------------------------------------------------------- #
+
+
+class TestDeceptionController:
+    def test_enable_disable_roundtrip(self):
+        base = HoneyfarmConfig(prefixes=(PREFIX,), seed=3)
+        on = DeceptionController.enable(base)
+        assert on.deception.enabled
+        assert DeceptionController(on).enabled
+        off = DeceptionController.disable(on)
+        assert not off.deception.enabled
+        assert base.deception == off.deception
+
+    def test_personality_distribution_is_mixed_when_enabled(self):
+        config = DeceptionController.enable(
+            HoneyfarmConfig(prefixes=(PREFIX,), seed=3)
+        )
+        distribution = DeceptionController(config).personality_distribution()
+        assert sum(distribution.values()) == 64
+        assert len(distribution) > 1
+
+    def test_jitter_spread_is_positive_when_enabled(self):
+        config = DeceptionController.enable(
+            HoneyfarmConfig(prefixes=(PREFIX,), seed=3)
+        )
+        low, high = DeceptionController(config).jitter_spread()
+        assert 0.0 <= low < high <= config.deception.jitter_max_seconds
+
+    def test_gateway_jitter_hook_attached_only_when_enabled(self):
+        assert make_farm(deception=False).gateway.reply_jitter is None
+        assert make_farm(deception=True).gateway.reply_jitter is not None
+
+    def test_jitter_delays_are_counted(self):
+        farm, scanner = run_scanner(tier=1, deception=True)
+        assert farm.metrics.counters().get("gateway.deception_delayed", 0) > 0
+
+
+# --------------------------------------------------------------------- #
+# Analysis rollup and the experiment driver
+# --------------------------------------------------------------------- #
+
+
+class TestAnalysisAndExperiment:
+    def test_summarize_groups_by_tier(self):
+        __, aborted = run_scanner(tier=2, deception=False)
+        __, completed = run_scanner(tier=0, deception=False)
+        table = summarize_adversaries([aborted.report, completed.report])
+        assert set(table) == {0, 2}
+        assert table[2].abort_rate == 1.0 and table[2].captures == 0
+        assert table[0].capture_rate == 1.0 and table[0].captures == 6
+        assert table[0].mean_dwell is not None
+
+    def test_deception_effect_reports_fingerprint_gain(self):
+        __, off = run_scanner(tier=2, deception=False)
+        __, on = run_scanner(tier=2, deception=True)
+        effect = deception_effect([off.report], [on.report])
+        assert effect["fingerprint_captures_off"] == 0
+        assert effect["fingerprint_captures_on"] > 0
+        assert effect["fingerprint_capture_gain"] > 0
+
+    def test_experiment_headline_gate_and_determinism(self):
+        kwargs = dict(seed=11, tiers=(0, 2, 3), duration=12.0,
+                      num_targets=6, include_botnet=True)
+        first = run_adversary_experiment(**kwargs)
+        second = run_adversary_experiment(**kwargs)
+        assert experiment_digest(first) == experiment_digest(second)
+        assert (first["headline"]["fingerprint_captures_on"]
+                > first["headline"]["fingerprint_captures_off"])
+        off = first["arms"]["off"]["scanners"]
+        assert off["2"]["verdict"] == "aborted"
+        assert off["3"]["verdict"] == "aborted"
+
+
+# --------------------------------------------------------------------- #
+# Conformance glue: scenarios, matrix, pinned corpus
+# --------------------------------------------------------------------- #
+
+
+class TestConformanceGlue:
+    def test_adversary_spec_validates(self):
+        with pytest.raises(ValueError):
+            AdversarySpec(kind="ddos")
+        with pytest.raises(ValueError):
+            AdversarySpec(kind="fingerprint", tier=9)
+        with pytest.raises(ValueError):
+            AdversarySpec(kind="fingerprint", num_targets=1)
+
+    def test_scenario_roundtrips_adversaries_through_json(self):
+        scenario = Scenario(
+            seed=5,
+            adversaries=(AdversarySpec(kind="fingerprint", tier=2),),
+            deception=True,
+        )
+        again = Scenario.from_json(scenario.to_json())
+        assert again == scenario
+        assert again.adversaries[0].tier == 2
+
+    def test_matrix_grows_deception_flip_world_only_when_relevant(self):
+        plain = {s.name for s in world_matrix(Scenario(seed=1))}
+        assert "deception-flip" not in plain
+        armed = {s.name for s in world_matrix(Scenario(
+            seed=1, adversaries=(AdversarySpec(kind="botnet"),)
+        ))}
+        assert "deception-flip" in armed
+
+    def test_adversary_scenario_size_is_shrinkable(self):
+        base = Scenario(seed=1)
+        armed = Scenario(
+            seed=1, adversaries=(AdversarySpec(kind="fingerprint", tier=3),),
+            deception=True,
+        )
+        assert armed.size() > base.size()
+
+    def test_corpus_digests_are_pinned_and_stable(self, golden):
+        """The three adversary corpus scenarios replay bit-identically:
+        the delta world's guest-visible digest is stable across runs and
+        pinned as a golden expectation."""
+        import hashlib
+
+        lines = []
+        for name in ("fingerprint_abort", "botnet_c2_lateral",
+                     "deception_storm"):
+            scenario = Scenario.from_json(
+                (CORPUS_DIR / f"{name}.json").read_text()
+            )
+            spec = WorldSpec("delta", batched=True)
+            first = run_world(scenario, spec)
+            second = run_world(scenario, spec)
+            assert first.digest() == second.digest(), name
+            digest = hashlib.sha256(
+                json.dumps(first.digest(), sort_keys=True).encode()
+            ).hexdigest()
+            verdicts = ",".join(
+                f"{r['name']}:{r['verdict']}" for r in first.adversary_reports
+            )
+            lines.append(f"{name} {digest} [{verdicts}]")
+        golden.check(
+            Path(__file__).parent / "golden" / "adversary_corpus.txt",
+            "\n".join(lines) + "\n",
+        )
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+
+
+class TestCli:
+    def test_adversary_subcommand_smoke(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "adversary.json"
+        code = main([
+            "adversary", "--smoke", "--targets", "6", "--no-botnet",
+            "--json", str(out),
+        ])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "deception on" in captured
+        doc = json.loads(out.read_text())
+        assert doc["headline"]["fingerprint_captures_on"] > 0

@@ -1,0 +1,136 @@
+"""Property tests for the deception defense and adversary plumbing.
+
+The deception randomizations must be *pure* in ``(seed, address)`` —
+that is the whole determinism story: conformance worlds replay
+bit-identically, repeat visits to one address always meet the same
+host, and the ablation flip changes exactly the randomized face. These
+properties hold for every seed and address, so they are stated as
+hypothesis properties rather than example tests.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary import DeceptionController
+from repro.adversary.tells import (
+    ABORT_THRESHOLD,
+    CLONE_LATENCY_BAND,
+    Tell,
+    TellScore,
+    clone_latency_tell,
+    timing_variance_tell,
+)
+from repro.core.config import DeceptionConfig, HoneyfarmConfig
+from repro.net.addr import IPAddress, Prefix
+
+pytestmark = pytest.mark.slow
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+addresses = st.integers(min_value=0, max_value=2**32 - 1).map(IPAddress)
+
+
+def enabled_config(seed: int, jitter_max: float = 0.08) -> HoneyfarmConfig:
+    return HoneyfarmConfig(
+        prefixes=("10.18.0.0/24",),
+        seed=seed,
+        deception=DeceptionConfig(enabled=True, jitter_max_seconds=jitter_max),
+    )
+
+
+class TestDeceptionPurity:
+    @settings(max_examples=50)
+    @given(seed=seeds, addr=addresses)
+    def test_personality_is_pure_and_from_the_pool(self, seed, addr):
+        config = enabled_config(seed)
+        prefix = config.parsed_prefixes()[0]
+        first = config.personality_for_address(prefix, addr)
+        assert first == config.personality_for_address(prefix, addr)
+        assert first in config.deception.personality_pool
+
+    @settings(max_examples=50)
+    @given(seed=seeds, addr=addresses,
+           jitter_max=st.floats(min_value=0.001, max_value=1.0))
+    def test_jitter_is_pure_and_bounded(self, seed, addr, jitter_max):
+        config = enabled_config(seed, jitter_max=jitter_max)
+        delay = config.reply_jitter(addr)
+        assert delay == config.reply_jitter(addr)
+        assert 0.0 <= delay < jitter_max
+
+    @settings(max_examples=50)
+    @given(seed=seeds, addr=addresses)
+    def test_disabled_deception_means_zero_jitter(self, seed, addr):
+        config = HoneyfarmConfig(prefixes=("10.18.0.0/24",), seed=seed)
+        assert config.reply_jitter(addr) == 0.0
+
+    @settings(max_examples=25)
+    @given(seed=seeds)
+    def test_enable_disable_roundtrip_restores_stock_config(self, seed):
+        base = HoneyfarmConfig(prefixes=("10.18.0.0/24",), seed=seed)
+        flipped = DeceptionController.disable(DeceptionController.enable(base))
+        assert flipped.deception == base.deception
+
+    @settings(max_examples=25)
+    @given(seed=seeds)
+    def test_pool_membership_over_a_whole_prefix(self, seed):
+        config = enabled_config(seed)
+        controller = DeceptionController(config)
+        distribution = controller.personality_distribution(limit=64)
+        assert sum(distribution.values()) == 64
+        assert set(distribution) <= set(config.deception.personality_pool)
+
+
+class TestJitterOrderPreservation:
+    @settings(max_examples=50)
+    @given(seed=seeds, addr=addresses,
+           offsets=st.lists(st.floats(min_value=0.0, max_value=10.0),
+                            min_size=2, max_size=8))
+    def test_constant_per_address_delay_preserves_flow_order(
+        self, seed, addr, offsets
+    ):
+        """Same-flow packets all leave one address, so they share one
+        fixed delay — shifted departure times keep the original order."""
+        config = enabled_config(seed)
+        delay = config.reply_jitter(addr)
+        times = sorted(offsets)
+        shifted = [t + delay for t in times]
+        assert shifted == sorted(shifted)
+
+
+class TestTellProperties:
+    @settings(max_examples=50)
+    @given(latency=st.floats(min_value=0.0, max_value=10.0),
+           count=st.integers(min_value=1, max_value=8))
+    def test_clone_latency_fires_exactly_on_the_band(self, latency, count):
+        low, high = CLONE_LATENCY_BAND
+        tell = clone_latency_tell([latency] * count)
+        assert (tell is not None) == (low <= latency <= high)
+
+    @settings(max_examples=50)
+    @given(base=st.floats(min_value=0.1, max_value=5.0),
+           spreads=st.lists(
+               st.floats(min_value=0.01, max_value=1.0),
+               min_size=3, max_size=8,
+           ))
+    def test_decorrelated_timing_never_trips_the_variance_tell(
+        self, base, spreads
+    ):
+        """Per-address spreads of >= 10ms (orders above the floor) look
+        like distinct hosts, whatever the base latency."""
+        offset = 0.0
+        latencies = {}
+        for i, spread in enumerate(spreads):
+            latencies[f"10.18.0.{i}"] = base + offset
+            offset += spread
+        assert timing_variance_tell(latencies) is None
+
+    @settings(max_examples=50)
+    @given(weights=st.lists(
+        st.floats(min_value=0.0, max_value=1.0), min_size=0, max_size=6,
+    ))
+    def test_score_total_is_the_sum_and_trip_is_monotone(self, weights):
+        score = TellScore()
+        for i, weight in enumerate(weights):
+            score.add(Tell(f"t{i}", weight, "evidence"))
+        assert score.total == pytest.approx(sum(weights))
+        assert score.tripped() == (score.total >= ABORT_THRESHOLD)

@@ -80,6 +80,22 @@ class TestWireCodec:
         )
         assert ShardMessage.decode(message.encode()) == message
 
+    def test_message_generation_roundtrip(self):
+        message = ShardMessage(
+            send_time=1.5, deliver_time=2.0, src_shard=0, dst_shard=1,
+            seq=7, reply=False, wire=encode_packet(udp_packet(A, B, 9, 53)),
+            generation=3,
+        )
+        decoded = ShardMessage.decode(message.encode())
+        assert decoded == message
+        assert decoded.generation == 3
+
+    def test_generation_defaults_to_no_chain_sentinel(self):
+        message = ShardMessage(0.0, 0.5, 0, 1, 1, False,
+                               encode_packet(udp_packet(A, B, 9, 53)))
+        assert message.generation == -1
+        assert ShardMessage.decode(message.encode()).generation == -1
+
     def test_message_version_checked(self):
         message = ShardMessage(0.0, 0.5, 0, 1, 1, False,
                                encode_packet(udp_packet(A, B, 9, 53)))
@@ -221,7 +237,8 @@ class TestShardRunnerMailbox:
             runner = self.make_runner()
             delivered = []
             runner.farm.gateway.receive_intershard = (
-                lambda packet, reply, log=delivered: log.append(packet.dst_port)
+                lambda packet, reply, generation=-1, log=delivered:
+                log.append(packet.dst_port)
             )
             for message in permutation:
                 runner.deposit(message)
@@ -243,3 +260,57 @@ class TestShardRunnerMailbox:
         with pytest.raises(ValueError, match="disagree"):
             ShardRunner(0, configs[1], shard_map,
                         InterShardConfig(latency_seconds=0.25))
+
+
+class TestCrossShardGeneration:
+    """ROADMAP item-1 follow-up: remote-sourced infections used to record
+    the default generation (zero) because the source VM lives in a
+    sibling shard's VM map. The wire now carries the sender's infection
+    generation and the victim shard chains from it."""
+
+    def make_runner(self):
+        configs = [shard_config("10.16.0.0/26", seed=11),
+                   shard_config("10.16.0.64/26", seed=12)]
+        shard_map = ShardMap.from_configs(configs)
+        interlink = InterShardConfig(latency_seconds=0.25)
+        return ShardRunner(1, configs[1], shard_map, interlink)
+
+    def exploit_message(self, generation):
+        """A slammer exploit from shard-0 VM ``A`` into shard-1 ``B``,
+        stamped with the sender's infection generation."""
+        return ShardMessage(
+            send_time=0.0, deliver_time=0.25, src_shard=0, dst_shard=1,
+            seq=1, reply=False,
+            wire=encode_packet(
+                udp_packet(A, B, 5000, 1434, payload="exploit:slammer")
+            ),
+            generation=generation,
+        )
+
+    def test_remote_generation_recorded_and_chained(self):
+        runner = self.make_runner()
+        runner.deposit(self.exploit_message(generation=2))
+        runner.run_epoch(5.0)
+        gateway = runner.farm.gateway
+        assert gateway.remote_generations[A] == 2
+        assert runner.farm.infection_count() == 1
+        record = runner.farm.infections[0]
+        assert record.source == A and record.victim == B
+        assert record.generation == 3
+
+    def test_sentinel_generation_does_not_chain(self):
+        """A non-VM source (the -1 sentinel) must leave the victim at
+        generation zero — identical to a local external-scan infection."""
+        runner = self.make_runner()
+        runner.deposit(self.exploit_message(generation=-1))
+        runner.run_epoch(5.0)
+        assert A not in runner.farm.gateway.remote_generations
+        assert runner.farm.infection_count() == 1
+        assert runner.farm.infections[0].generation == 0
+
+    def test_generation_rides_the_report(self):
+        runner = self.make_runner()
+        runner.deposit(self.exploit_message(generation=4))
+        runner.run_epoch(5.0)
+        rows = runner.report()["infections"]
+        assert rows and rows[0][4] == 5
